@@ -1,0 +1,48 @@
+"""Ablation — the asynchronous alarm feedback protocol.
+
+The paper assumes every scheduler uses the alarm mechanism (servers
+exclude themselves above the threshold theta). This ablation measures
+how much that feedback contributes, per policy, by disabling it and by
+sweeping theta. The ``-FB`` variant additionally scales TTLs down while
+alarms are active (our extension; see repro.core.ttl.feedback).
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import default_duration
+from repro.experiments.reporting import format_table
+from repro.experiments.simulation import run_simulation
+
+from conftest import BENCH_SEED
+
+POLICIES = ["RR", "DRR2-TTL/S_K", "DRR2-TTL/S_K-FB", "PRR2-TTL/K"]
+THRESHOLDS = [0.75, 0.9, 1.0]
+
+
+def run_ablation():
+    duration = default_duration()
+    rows = []
+    for policy in POLICIES:
+        base = SimulationConfig(
+            policy=policy, heterogeneity=35, duration=duration,
+            seed=BENCH_SEED,
+        )
+        no_feedback = run_simulation(base.replace(alarm_feedback=False))
+        cells = [policy, f"{no_feedback.prob_max_below(0.98):.3f}"]
+        for theta in THRESHOLDS:
+            result = run_simulation(base.replace(alarm_threshold=theta))
+            cells.append(f"{result.prob_max_below(0.98):.3f}")
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_ablation_alarm_feedback(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print("Ablation: alarm feedback (P(max<0.98), het 35%)")
+    headers = ["policy", "no feedback"] + [
+        f"theta={theta:g}" for theta in THRESHOLDS
+    ]
+    print(format_table(headers, rows))
+    assert len(rows) == len(POLICIES)

@@ -1,0 +1,59 @@
+"""Ablation — number of domain classes i in the TTL/i meta-algorithm.
+
+The paper evaluates i in {1, 2, K}; the meta-algorithm is defined for any
+i ("for i = 3 we have a strategy that uses a three-tier partition of the
+domains, and so on"). This ablation sweeps i to show how quickly the
+benefit of finer domain classification saturates.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import default_duration
+from repro.experiments.reporting import format_table
+from repro.experiments.simulation import run_simulation
+
+from conftest import BENCH_SEED
+
+TIER_POLICIES = [
+    ("PRR2-TTL/1", 1),
+    ("PRR2-TTL/2", 2),
+    ("PRR2-TTL/4", 4),
+    ("PRR2-TTL/8", 8),
+    ("PRR2-TTL/K", 20),
+]
+
+
+def run_ablation():
+    duration = default_duration()
+    rows = []
+    for policy, tiers in TIER_POLICIES:
+        config = SimulationConfig(
+            policy=policy, heterogeneity=35, duration=duration,
+            seed=BENCH_SEED,
+        )
+        result = run_simulation(config)
+        rows.append(
+            (
+                policy,
+                tiers,
+                f"{result.prob_max_below(0.98):.3f}",
+                f"{result.mean_max_utilization:.3f}",
+            )
+        )
+    return rows
+
+
+def test_ablation_tier_count(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print("Ablation: TTL/i tier count (het 35%)")
+    print(
+        format_table(
+            ["policy", "classes", "P(max<0.98)", "mean max util"], rows
+        )
+    )
+    # More classes should not make things dramatically worse.
+    single = float(rows[0][2])
+    full = float(rows[-1][2])
+    assert full > single

@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the simulation substrate.
+
+These are true repeated-measurement benchmarks (unlike the figure
+benches, which are one-shot experiments): event-queue throughput, process
+switching, scheduler selection and the fluid-server hot path. They guard
+against performance regressions that would make the paper-length runs
+impractical.
+"""
+
+import random
+
+import pytest
+
+from repro.core.estimator import OracleEstimator
+from repro.core.probabilistic import ProbabilisticTwoTierScheduler
+from repro.core.registry import build_policy
+from repro.core.state import SchedulerState
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.web.cluster import ServerCluster
+from repro.web.server import WebServer
+from repro.workload.domains import DomainSet
+
+from conftest import BENCH_SEED
+
+
+def make_state(heterogeneity=65, domain_count=20):
+    cluster = ServerCluster.from_heterogeneity(heterogeneity)
+    domains = DomainSet.pure_zipf(domain_count)
+    return SchedulerState(cluster, OracleEstimator(domains.shares))
+
+
+def test_bench_event_queue_throughput(benchmark):
+    def run():
+        env = Environment()
+        counter = [0]
+
+        def tick(event):
+            counter[0] += 1
+            if counter[0] < 10_000:
+                env.timeout(1.0).callbacks.append(tick)
+
+        env.timeout(1.0).callbacks.append(tick)
+        env.run()
+        return counter[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_process_switching(benchmark):
+    def run():
+        env = Environment()
+        done = [0]
+
+        def proc():
+            for _ in range(100):
+                yield env.timeout(1.0)
+            done[0] += 1
+
+        for _ in range(50):
+            env.process(proc())
+        env.run()
+        return done[0]
+
+    assert benchmark(run) == 50
+
+
+def test_bench_fluid_server_offer(benchmark):
+    server = WebServer(0, 100.0)
+    clock = [0.0]
+
+    def run():
+        for _ in range(1000):
+            clock[0] += 0.01
+            server.offer(clock[0], hits=10, domain_id=3)
+        return server.total_pages
+
+    benchmark(run)
+
+
+def test_bench_prr2_selection(benchmark):
+    state = make_state(heterogeneity=65)
+    scheduler = ProbabilisticTwoTierScheduler(state, random.Random(BENCH_SEED))
+
+    def run():
+        for domain in range(20):
+            scheduler.select(domain, 0.0)
+
+    benchmark(run)
+
+
+def test_bench_adaptive_ttl_lookup(benchmark):
+    state = make_state(heterogeneity=65)
+    _, ttl_policy = build_policy(
+        "DRR2-TTL/S_K", state, RandomStreams(BENCH_SEED)
+    )
+    ttl_policy.ttl_for(0, 0, 0.0)  # warm the calibration cache
+
+    def run():
+        total = 0.0
+        for domain in range(20):
+            for server in range(7):
+                total += ttl_policy.ttl_for(domain, server, 0.0)
+        return total
+
+    benchmark(run)
+
+
+def test_bench_full_simulation_minute(benchmark):
+    """End-to-end cost of one simulated minute at paper scale."""
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.simulation import run_simulation
+
+    config = SimulationConfig(
+        policy="DRR2-TTL/S_K", duration=60.0, seed=BENCH_SEED
+    )
+    result = benchmark.pedantic(
+        lambda: run_simulation(config), rounds=3, iterations=1
+    )
+    assert result.total_hits > 0

@@ -1,0 +1,15 @@
+"""Figure 1 — cumulative frequency of max utilization, deterministic
+algorithms at 20% heterogeneity.
+
+Paper's result: the fully adaptive DRR2-TTL/S_K and DRR-TTL/S_K curves
+hug the Ideal envelope; TTL/S_2 sits in between; TTL/S_1 (server
+capacity only) barely improves on plain RR; RR2-based variants dominate
+their RR-based counterparts.
+"""
+
+from repro.experiments.figures import fig1
+
+
+def test_fig1_deterministic_algorithms(run_figure):
+    figure = run_figure(fig1)
+    assert len(figure.series) == 8

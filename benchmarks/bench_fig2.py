@@ -1,0 +1,15 @@
+"""Figure 2 — cumulative frequency of max utilization, probabilistic
+algorithms at 35% heterogeneity.
+
+Paper's result: same ordering as Figure 1 for the probabilistic family;
+PRR-TTL/1 (probabilistic routing with a constant TTL) is clearly below
+every adaptive scheme, showing probabilistic routing alone cannot handle
+the non-uniform client distribution.
+"""
+
+from repro.experiments.figures import fig2
+
+
+def test_fig2_probabilistic_algorithms(run_figure):
+    figure = run_figure(fig2)
+    assert len(figure.series) == 8

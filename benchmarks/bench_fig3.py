@@ -1,0 +1,15 @@
+"""Figure 3 — sensitivity to system heterogeneity (20% to 65%).
+
+Paper's result: the adaptive TTL/K and TTL/S_K schemes stay close to
+probability 1 across all heterogeneity levels; TTL/2 and TTL/S_2 fall
+off beyond 50%; RR (and, in the paper, DAL) are far below. See
+EXPERIMENTS.md for the DAL fidelity discussion.
+"""
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3_heterogeneity_sensitivity(run_figure):
+    figure = run_figure(fig3)
+    assert len(figure.series) == 6
+    assert figure.series[0].x == [20.0, 35.0, 50.0, 65.0]

@@ -1,0 +1,15 @@
+"""Figure 4 — sensitivity to the minimum accepted TTL at 20% heterogeneity.
+
+Non-cooperative name servers clamp any recommended TTL below a threshold
+to the threshold itself. Paper's result: DRR2-TTL/S_K is best with full
+TTL control and degrades as the threshold grows (clamping destroys its
+capacity compensation); PRR2-TTL/2 is nearly flat because its TTLs stay
+above ~90 s anyway.
+"""
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4_min_ttl_sensitivity_het20(run_figure):
+    figure = run_figure(fig4)
+    assert len(figure.series) == 5

@@ -1,0 +1,13 @@
+"""Figure 5 — sensitivity to the minimum accepted TTL at 50% heterogeneity.
+
+Paper's result: the crossover appears — DRR2-TTL/S_K stays best only
+while the threshold is below ~100 s; beyond that PRR2-TTL/K (whose
+capacity handling lives in the routing, not the TTL) takes over.
+"""
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5_min_ttl_sensitivity_het50(run_figure):
+    figure = run_figure(fig5)
+    assert len(figure.series) == 5

@@ -1,0 +1,15 @@
+"""Figure 6 — sensitivity to hidden-load estimation error at 20%
+heterogeneity.
+
+The busiest domain's actual request rate is inflated by e% while the DNS
+estimates stay stale. Paper's result: all TTL/K and TTL/S_K schemes
+cluster on top and lose only a few points even at 50% error; TTL/2 and
+TTL/S_2 schemes degrade much more.
+"""
+
+from repro.experiments.figures import fig6
+
+
+def test_fig6_estimation_error_het20(run_figure):
+    figure = run_figure(fig6)
+    assert len(figure.series) == 8

@@ -1,0 +1,14 @@
+"""Figure 7 — sensitivity to hidden-load estimation error at 50%
+heterogeneity.
+
+Paper's result: as Figure 6 but harsher — with high heterogeneity and
+error >= 30% the two-class schemes degrade substantially while the
+per-domain TTL/K and TTL/S_K schemes remain robust.
+"""
+
+from repro.experiments.figures import fig7
+
+
+def test_fig7_estimation_error_het50(run_figure):
+    figure = run_figure(fig7)
+    assert len(figure.series) == 8

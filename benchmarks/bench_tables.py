@@ -1,0 +1,41 @@
+"""Tables 1 and 2 — the model parameters and heterogeneity levels.
+
+These are configuration artifacts rather than experiments; the
+"benchmark" verifies and prints them so the bench run documents the exact
+setup used by every figure benchmark.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import table1, table2
+from repro.experiments.reporting import format_table
+
+
+def test_table1_parameters(benchmark):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print()
+    print("Table 1: Parameters of the system model")
+    print(format_table(["Parameter", "Setting"], rows))
+    pairs = dict(rows)
+    assert pairs["Connected domains K"] == "20"
+    assert pairs["Total clients"] == "500"
+    assert pairs["Constant TTL"] == "240 s"
+    assert pairs["Average utilization"] == "0.667"
+
+
+def test_table2_heterogeneity_levels(benchmark):
+    levels = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print()
+    print("Table 2: Parameters of the heterogeneity levels")
+    rows = [
+        (f"{level}%", ", ".join(f"{alpha:g}" for alpha in alphas))
+        for level, alphas in sorted(levels.items())
+    ]
+    print(format_table(["Heterogeneity", "Relative capacities"], rows))
+    assert levels[20] == [1.0, 1.0, 1.0, 0.8, 0.8, 0.8, 0.8]
+    assert levels[65] == [1.0, 1.0, 0.8, 0.8, 0.35, 0.35, 0.35]
+    # Every level keeps total capacity at 500 hits/s.
+    for level in levels:
+        cluster = SimulationConfig(heterogeneity=level).build_cluster()
+        assert sum(cluster.capacities) == pytest.approx(500.0)

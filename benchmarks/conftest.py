@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_fig*.py`` module regenerates one figure of the paper: it
+runs the underlying simulations once (``benchmark.pedantic`` with a
+single round — a figure is a long-running experiment, not a microbench),
+prints the regenerated series in the paper's layout, writes a CSV next to
+this file under ``benchmarks/output/``, and reports any violated
+qualitative expectation from :mod:`repro.experiments.paper`.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_PAPER_FIDELITY=1`` for full five-hour runs per point.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.paper import CHECKS
+from repro.experiments.reporting import figure_to_csv, render_figure
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Seed used by every benchmark figure (change via REPRO_BENCH_SEED).
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def report_figure(figure) -> None:
+    """Print a regenerated figure, persist CSV, and check expectations."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    print()
+    print(render_figure(figure))
+    csv_path = OUTPUT_DIR / f"{figure.figure_id}.csv"
+    csv_path.write_text(figure_to_csv(figure))
+    print(f"[csv written to {csv_path}]")
+    check = CHECKS.get(figure.figure_id)
+    if check is not None:
+        violations = check(figure)
+        if violations:
+            for violation in violations:
+                print(f"EXPECTATION NOT MET: {violation}")
+        else:
+            print(f"[{figure.figure_id}: all paper expectations hold]")
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Benchmark a figure generator once and report its output."""
+
+    def runner(figure_fn, **kwargs):
+        kwargs.setdefault("seed", BENCH_SEED)
+        figure = benchmark.pedantic(
+            lambda: figure_fn(**kwargs), rounds=1, iterations=1
+        )
+        report_figure(figure)
+        return figure
+
+    return runner

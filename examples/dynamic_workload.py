@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Non-stationary workloads: why the estimator matters.
+
+The paper closes by noting that in "a more dynamic environment where
+client request rates from the domains may change constantly, it can be
+difficult to obtain an accurate estimate" of the hidden load weights.
+This example makes that concrete: the identities of the five hottest
+domains rotate cyclically during the run, and three estimators feed the
+same adaptive policy:
+
+* ``oracle``   — exact shares at t=0, never updated (stale under rotation);
+* ``measured`` — servers count hits per domain, the DNS collects and
+  EWMA-smooths them every 32 s (the mechanism the paper describes);
+* ``window``   — shares over a sliding window of recent intervals.
+
+Under a static workload all three are equivalent; under rotation the
+stale oracle mis-classes exactly the domains that matter and the
+measurement-based estimators recover most of the loss.
+
+Usage::
+
+    python examples/dynamic_workload.py [rotation_seconds] [duration]
+"""
+
+import sys
+
+from repro import SimulationConfig, run_simulation
+from repro.experiments.reporting import format_table
+
+POLICY = "DRR2-TTL/S_K"
+ESTIMATORS = ("oracle", "measured", "window")
+
+
+def main() -> None:
+    rotation = float(sys.argv[1]) if len(sys.argv) > 1 else 300.0
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 2400.0
+
+    print(
+        f"Policy {POLICY} at 35% heterogeneity; hottest 5 domains rotate "
+        f"every {rotation:g}s ({duration:g}s per run)."
+    )
+    rows = []
+    for workload, interval in (("static", 0.0), ("rotating", rotation)):
+        cells = [workload]
+        for estimator in ESTIMATORS:
+            config = SimulationConfig(
+                policy=POLICY,
+                heterogeneity=35,
+                estimator=estimator,
+                hot_rotation_interval=interval,
+                duration=duration,
+                seed=11,
+            )
+            result = run_simulation(config)
+            cells.append(f"{result.prob_max_below(0.98):.3f}")
+        rows.append(tuple(cells))
+
+    print()
+    print("P(max utilization < 0.98), higher is better:")
+    print(format_table(["workload"] + list(ESTIMATORS), rows))
+    print()
+    print(
+        "Reading: under rotation the never-updated oracle keeps issuing\n"
+        "long TTLs to domains that have become hot; the measured (EWMA)\n"
+        "estimator tracks the change and recovers most of the loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

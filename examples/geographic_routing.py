@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Geographic routing vs adaptive TTL: latency is not the whole story.
+
+The paper's servers are geographically distributed, and the obvious
+geographic policy — answer every DNS query with the *nearest* server —
+is what commercial GeoDNS products ship. This example attaches a
+clustered geographic layout (domains sit near population-center servers)
+and compares:
+
+* ``PROXIMITY``     — strict nearest-server routing;
+* ``GEO-HYBRID``    — nearest-within-2x-RTT, filled by capacity;
+* ``RR``            — the paper's lower bound;
+* ``DRR2-TTL/S_K``  — the paper's best adaptive-TTL policy.
+
+The finding mirrors operations folklore: proximity wins the network RTT
+by 2x or more, but under Zipf-skewed demand it melts the servers near
+the hot domains — total page latency (queueing + network) ends up an
+order of magnitude *worse* than under load-aware adaptive TTL.
+
+Usage::
+
+    python examples/geographic_routing.py [duration_seconds]
+"""
+
+import sys
+
+from repro import SimulationConfig, run_simulation
+from repro.experiments.reporting import format_table
+
+POLICIES = ["PROXIMITY", "GEO-HYBRID", "RR", "DRR2-TTL/S_K"]
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 2400.0
+
+    print(
+        "Clustered geography, 35% heterogeneity, "
+        f"{duration:g}s per policy..."
+    )
+    rows = []
+    for policy in POLICIES:
+        config = SimulationConfig(
+            policy=policy,
+            heterogeneity=35,
+            geography="clustered",
+            duration=duration,
+            seed=11,
+        )
+        result = run_simulation(config)
+        total = result.mean_page_response_time + result.mean_network_rtt
+        rows.append(
+            (
+                policy,
+                f"{result.prob_max_below(0.98):.3f}",
+                f"{result.mean_network_rtt * 1000:.1f} ms",
+                f"{result.mean_page_response_time:.2f} s",
+                f"{total:.2f} s",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "P(max<0.98)",
+                "network RTT",
+                "queueing delay",
+                "total latency",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Reading: PROXIMITY minimizes the network RTT but concentrates\n"
+        "the hot domains on their nearest servers; the queueing delay it\n"
+        "creates dwarfs the milliseconds it saved. Load-aware adaptive\n"
+        "TTL pays a little more network latency and wins overall —\n"
+        "modern CDNs combine both signals for exactly this reason."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Robustness study: non-cooperative name servers (Figs. 4-5 scenario).
+
+Real-world resolvers often distrust small TTLs and impose their own
+minimum. Adaptive-TTL policies that rely on *short* TTLs for hot domains
+or slow servers lose control when that happens. This example sweeps the
+resolver minimum-TTL threshold and shows the paper's operational advice:
+
+* with full TTL control, use DRR2-TTL/S_K;
+* behind aggressive resolvers on a highly heterogeneous site, prefer
+  PRR2-TTL/K — its capacity handling lives in the routing, which
+  resolvers cannot override.
+
+Usage::
+
+    python examples/noncooperative_resolvers.py [heterogeneity] [duration]
+"""
+
+import sys
+
+from repro import SimulationConfig, run_simulation
+from repro.experiments.reporting import format_table
+
+POLICIES = ["DRR2-TTL/S_K", "PRR2-TTL/K", "PRR2-TTL/2"]
+THRESHOLDS = [0.0, 60.0, 120.0]
+
+
+def main() -> None:
+    heterogeneity = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 2400.0
+
+    print(
+        f"Sweeping resolver minimum-TTL thresholds at {heterogeneity}% "
+        f"heterogeneity ({duration:g}s per run)..."
+    )
+    rows = []
+    for policy in POLICIES:
+        cells = [policy]
+        for threshold in THRESHOLDS:
+            config = SimulationConfig(
+                policy=policy,
+                heterogeneity=heterogeneity,
+                min_accepted_ttl=threshold,
+                duration=duration,
+                seed=11,
+            )
+            result = run_simulation(config)
+            overridden = result.ns_ttl_overrides
+            cells.append(
+                f"{result.prob_max_below(0.98):.3f}"
+                + (f" ({overridden} ovr)" if overridden else "")
+            )
+        rows.append(tuple(cells))
+
+    print()
+    headers = ["policy"] + [f"min TTL {t:g}s" for t in THRESHOLDS]
+    print("P(max utilization < 0.98), higher is better:")
+    print(format_table(headers, rows))
+    print()
+    print(
+        "Reading: DRR2-TTL/S_K leads while resolvers cooperate; as the\n"
+        "threshold grows, its short capacity-compensating TTLs get clamped\n"
+        "and PRR2-TTL/K (capacity handled by probabilistic routing)\n"
+        "becomes the better choice — the paper's Fig. 5 crossover."
+    )
+
+
+if __name__ == "__main__":
+    main()

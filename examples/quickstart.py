@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one DNS scheduling policy and read the results.
+
+Runs the paper's default scenario (Table 1: 7 servers at 20%
+heterogeneity, 500 clients across 20 Zipf-distributed domains) under the
+best adaptive-TTL policy, DRR2-TTL/S_K, and prints the metrics the paper
+reports: the cumulative frequency of the maximum server utilization and
+Prob(MaxUtilization < 0.98).
+
+Usage::
+
+    python examples/quickstart.py [policy] [duration_seconds]
+"""
+
+import sys
+
+from repro import SimulationConfig, run_simulation
+from repro.experiments.reporting import render_result
+
+
+def main() -> None:
+    policy = sys.argv[1] if len(sys.argv) > 1 else "DRR2-TTL/S_K"
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 3600.0
+
+    config = SimulationConfig(policy=policy, duration=duration, seed=7)
+    print(f"Simulating {policy} for {duration:g}s of site activity...")
+    print(f"(expected average utilization: {config.offered_utilization:.3f})")
+    print()
+
+    result = run_simulation(config)
+
+    print(render_result(result))
+    print()
+    print("Cumulative frequency of the maximum server utilization:")
+    for x, p in result.cumulative_frequency([0.7, 0.8, 0.9, 0.95, 0.98, 1.0]):
+        bar = "#" * int(50 * p)
+        print(f"  P(max < {x:4.2f}) = {p:5.3f} |{bar}")
+    print()
+    mean, half = result.confidence_interval()
+    print(
+        f"Mean max utilization: {mean:.3f} +/- {half:.3f} "
+        f"(95% batch-means CI)"
+    )
+    print(
+        f"The DNS directly controlled {result.dns_control_fraction:.1%} of "
+        f"all hits — the paper's core difficulty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that the
+legacy (non-PEP 660) editable-install path works in offline environments
+that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — reproduction of Colajanni, Cardellini & Yu (ICDCS 1998),
+"Dynamic Load Balancing in Geographically Distributed Heterogeneous Web
+Servers".
+
+The package implements the paper's adaptive-TTL DNS scheduling policies
+and every substrate they run on: a discrete-event simulation engine, the
+DNS resolution path with caching name servers, a fluid web-server model
+with alarm feedback, and the Zipf-skewed client workload. The
+:mod:`repro.experiments` subpackage regenerates every table and figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    result = run_simulation(
+        SimulationConfig(policy="DRR2-TTL/S_K", heterogeneity=35,
+                         duration=3600.0, seed=7)
+    )
+    print(result.prob_max_below(0.98))
+"""
+
+from .core import (
+    PAPER_POLICIES,
+    PolicySpec,
+    available_policies,
+    build_policy,
+    parse_policy_name,
+)
+from .errors import (
+    ConfigurationError,
+    EstimationError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    UnknownPolicyError,
+)
+from .experiments import (
+    FIGURES,
+    FigureResult,
+    SimulationConfig,
+    SimulationResult,
+    compare_policies,
+    run_replications,
+    run_simulation,
+    sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "EstimationError",
+    "FIGURES",
+    "FigureResult",
+    "PAPER_POLICIES",
+    "PolicyError",
+    "PolicySpec",
+    "ReproError",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "UnknownPolicyError",
+    "__version__",
+    "available_policies",
+    "build_policy",
+    "compare_policies",
+    "parse_policy_name",
+    "run_replications",
+    "run_simulation",
+    "sweep",
+]

@@ -1,0 +1,99 @@
+"""One-call plain-text dossier for a single simulation result.
+
+:func:`full_report` composes every analysis view this package offers —
+headline metrics, per-server balance, fairness indices, warm-up
+diagnosis, overload episodes, and a sparkline timeline — into one block
+of text. The CLI exposes it as ``repro run ... --report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..experiments.metrics import SimulationResult
+from ..experiments.reporting import format_table
+from .fairness import load_balance_report
+from .timeseries import max_series, overload_episodes, sparkline
+from .warmup import mser_cutoff
+
+
+def full_report(result: SimulationResult, overload_threshold: float = 0.98) -> str:
+    """A plain-text dossier for one run (see module docstring).
+
+    Time-series sections appear only when the result carries a
+    utilization series (``keep_utilization_series=True``).
+    """
+    lines: List[str] = []
+    summary = result.summary()
+
+    lines.append(f"policy: {result.policy}")
+    lines.append(
+        f"simulated {result.duration:g}s, "
+        f"{len(result.max_utilization_samples)} measurement intervals, "
+        f"{result.total_sessions} sessions, {result.total_hits} hits"
+    )
+    lines.append("")
+
+    lines.append("headline metrics")
+    rows = [
+        ("P(max util < 0.98)", f"{summary['prob_max_below_098']:.3f}"),
+        ("P(max util < 0.90)", f"{summary['prob_max_below_090']:.3f}"),
+        ("mean max utilization", f"{summary['mean_max_utilization']:.3f}"),
+        ("mean page response", f"{result.mean_page_response_time:.3f} s"),
+        ("worst page response", f"{result.max_page_response_time:.3f} s"),
+        ("mean granted TTL", f"{result.mean_granted_ttl:.0f} s"),
+        ("address-request rate", f"{result.address_request_rate:.4f} /s"),
+        ("DNS control fraction", f"{result.dns_control_fraction:.2%}"),
+        ("alarm signals", str(result.alarm_signals)),
+    ]
+    if result.mean_network_rtt:
+        rows.append(
+            ("mean network RTT", f"{result.mean_network_rtt * 1000:.1f} ms")
+        )
+    lines.append(format_table(["metric", "value"], rows))
+    lines.append("")
+
+    lines.append("server balance (mean utilization per server)")
+    balance = load_balance_report(result.mean_utilization_per_server)
+    per_server = "  ".join(
+        f"S{i + 1}={u:.3f}"
+        for i, u in enumerate(result.mean_utilization_per_server)
+    )
+    lines.append(f"  {per_server}")
+    lines.append(
+        f"  Jain index {balance['jain_index']:.3f}   "
+        f"CoV {balance['coefficient_of_variation']:.3f}   "
+        f"peak/mean {balance['max_mean_ratio']:.3f}   "
+        f"spread {balance['spread']:.3f}"
+    )
+    lines.append("")
+
+    cutoff = mser_cutoff(result.max_utilization_samples)
+    lines.append(
+        f"warm-up diagnosis (MSER-5): discard first {cutoff} of "
+        f"{len(result.max_utilization_samples)} samples"
+    )
+    lines.append("")
+
+    if result.utilization_series is not None:
+        values = [v for _, v in max_series(result)]
+        lines.append("max utilization over time")
+        lines.append(f"  {sparkline(values)}")
+        episodes = overload_episodes(result, threshold=overload_threshold)
+        if episodes:
+            total = sum(count for _, _, count in episodes)
+            lines.append(
+                f"overload episodes (>= {overload_threshold:g}): "
+                f"{len(episodes)} episode(s), {total} interval(s)"
+            )
+            for start, end, count in episodes[:8]:
+                lines.append(
+                    f"  t={start:8.0f}s .. {end:8.0f}s ({count} intervals)"
+                )
+            if len(episodes) > 8:
+                lines.append(f"  ... and {len(episodes) - 8} more")
+        else:
+            lines.append(
+                f"no overload episodes (>= {overload_threshold:g})"
+            )
+    return "\n".join(lines)

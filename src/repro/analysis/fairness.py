@@ -1,0 +1,75 @@
+"""Load-balance and fairness indices over server utilizations.
+
+The paper argues that averaged dispersion metrics (like the standard
+deviation of utilizations) hide the operationally relevant event — *one*
+overloaded server — and adopts the max-utilization CDF instead. These
+classic indices are provided as complementary diagnostics: they quantify
+*how* unbalanced the allocation is, which the binary overloaded/not view
+cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..errors import SimulationError
+
+
+def _validate(utilizations: Sequence[float]) -> None:
+    if not utilizations:
+        raise SimulationError("need at least one utilization value")
+    if any(u < 0 for u in utilizations):
+        raise SimulationError("utilizations must be non-negative")
+
+
+def jain_fairness_index(utilizations: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum u)^2 / (n * sum u^2)``.
+
+    1.0 = perfectly balanced; ``1/n`` = all load on one server. For an
+    all-idle vector the allocation is trivially fair, so 1.0 is returned.
+    """
+    _validate(utilizations)
+    total = sum(utilizations)
+    squares = sum(u * u for u in utilizations)
+    if total == 0 or squares == 0:  # all zero (or underflowed to zero)
+        return 1.0
+    return min(1.0, (total * total) / (len(utilizations) * squares))
+
+
+def coefficient_of_variation(utilizations: Sequence[float]) -> float:
+    """Standard deviation over mean (population form); 0 = balanced."""
+    _validate(utilizations)
+    n = len(utilizations)
+    mean = sum(utilizations) / n
+    if mean == 0:
+        return 0.0
+    variance = sum((u - mean) ** 2 for u in utilizations) / n
+    return math.sqrt(variance) / mean
+
+
+def max_mean_ratio(utilizations: Sequence[float]) -> float:
+    """Peak-to-average ratio; 1 = balanced, large = one hot server."""
+    _validate(utilizations)
+    mean = sum(utilizations) / len(utilizations)
+    if mean == 0:
+        return 1.0
+    return max(utilizations) / mean
+
+
+def imbalance_spread(utilizations: Sequence[float]) -> float:
+    """``max - min`` of the utilization vector."""
+    _validate(utilizations)
+    return max(utilizations) - min(utilizations)
+
+
+def load_balance_report(utilizations: Sequence[float]) -> Dict[str, float]:
+    """All indices for one utilization vector, as a flat dict."""
+    return {
+        "jain_index": jain_fairness_index(utilizations),
+        "coefficient_of_variation": coefficient_of_variation(utilizations),
+        "max_mean_ratio": max_mean_ratio(utilizations),
+        "spread": imbalance_spread(utilizations),
+        "max": max(utilizations),
+        "mean": sum(utilizations) / len(utilizations),
+    }

@@ -1,0 +1,94 @@
+"""Time-series views over recorded per-interval utilization vectors.
+
+Requires a result produced with ``keep_utilization_series=True`` in the
+:class:`~repro.experiments.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..experiments.metrics import SimulationResult
+from .fairness import load_balance_report
+
+Series = List[Tuple[float, float]]
+
+
+def _require_series(result: SimulationResult):
+    if result.utilization_series is None:
+        raise SimulationError(
+            "result has no utilization series; run with "
+            "keep_utilization_series=True"
+        )
+    return result.utilization_series
+
+
+def server_series(result: SimulationResult, server_id: int) -> Series:
+    """``(time, utilization)`` points for one server."""
+    series = _require_series(result)
+    if not series:
+        return []
+    if not 0 <= server_id < len(series[0][1]):
+        raise SimulationError(f"no server {server_id!r} in the series")
+    return [(now, vector[server_id]) for now, vector in series]
+
+
+def max_series(result: SimulationResult) -> Series:
+    """``(time, max utilization)`` points — the metric's raw timeline."""
+    return [(now, max(vector)) for now, vector in _require_series(result)]
+
+
+def overload_episodes(
+    result: SimulationResult, threshold: float = 0.98
+) -> List[Tuple[float, float, int]]:
+    """Contiguous stretches with some server above ``threshold``.
+
+    Returns ``(start, end, intervals)`` triples, ``end`` being the time
+    of the last overloaded sample in the episode.
+    """
+    episodes: List[Tuple[float, float, int]] = []
+    start = None
+    last = None
+    count = 0
+    for now, vector in _require_series(result):
+        if max(vector) >= threshold:
+            if start is None:
+                start = now
+                count = 0
+            last = now
+            count += 1
+        elif start is not None:
+            episodes.append((start, last, count))
+            start = None
+    if start is not None:
+        episodes.append((start, last, count))
+    return episodes
+
+
+def fairness_over_time(result: SimulationResult) -> List[Tuple[float, Dict[str, float]]]:
+    """A :func:`load_balance_report` per recorded interval."""
+    return [
+        (now, load_balance_report(vector))
+        for now, vector in _require_series(result)
+    ]
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a unicode sparkline (downsampled to ``width``)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        step = len(values) / width
+        values = [
+            max(values[int(i * step):max(int(i * step) + 1, int((i + 1) * step))])
+            for i in range(width)
+        ]
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - low) / span * len(blocks)))]
+        for v in values
+    )

@@ -1,0 +1,347 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+``run``
+    Run one simulation and print its summary (``--sparkline`` adds a
+    max-utilization timeline and overload episodes).
+``compare``
+    Run several policies on the same scenario and print them side by
+    side; ``--paired N`` adds a common-random-numbers paired comparison
+    of the first two policies over N replications.
+``sweep``
+    Vary one configuration parameter for one policy and print
+    ``Prob(MaxUtilization < 0.98)`` per value.
+``grid``
+    Full-factorial run over two parameters, rendered as a pivot table.
+``validate``
+    Run the model's internal consistency checks (see
+    :mod:`repro.experiments.validation`).
+``figure``
+    Regenerate one of the paper's figures (fig1..fig7) as a text table or
+    CSV.
+``table``
+    Print Table 1 (model parameters) or Table 2 (heterogeneity levels).
+``policies``
+    List every policy name the registry knows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.registry import available_policies
+from .experiments.config import SimulationConfig
+from .experiments.figures import FIGURES, table1, table2
+from .experiments.reporting import (
+    figure_to_csv,
+    format_table,
+    render_comparison,
+    render_figure,
+    render_result,
+)
+from .experiments.runner import compare_policies
+from .experiments.simulation import run_simulation
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--heterogeneity", type=int, default=20,
+        help="heterogeneity level %% (Table 2: 0, 20, 35, 50, 65)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=3600.0,
+        help="simulated seconds (paper: 18000)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    parser.add_argument(
+        "--domains", type=int, default=20, help="connected client domains K"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=500, help="total number of clients"
+    )
+    parser.add_argument(
+        "--min-ttl", type=float, default=0.0,
+        help="non-cooperative NS minimum accepted TTL (seconds)",
+    )
+    parser.add_argument(
+        "--error", type=float, default=0.0,
+        help="hidden-load estimation error as a fraction (e.g. 0.3)",
+    )
+    parser.add_argument(
+        "--estimator", choices=("oracle", "measured", "window"),
+        default="oracle", help="hidden-load estimator",
+    )
+    parser.add_argument(
+        "--geography", choices=("none", "random", "clustered"),
+        default="none",
+        help="attach a geographic layout (enables PROXIMITY/GEO-HYBRID "
+        "and network-RTT metrics)",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="also write the result as JSON to PATH",
+    )
+
+
+def _scenario_config(
+    args: argparse.Namespace, policy: str, **extra
+) -> SimulationConfig:
+    return SimulationConfig(
+        policy=policy,
+        heterogeneity=args.heterogeneity,
+        duration=args.duration,
+        seed=args.seed,
+        domain_count=args.domains,
+        total_clients=args.clients,
+        min_accepted_ttl=args.min_ttl,
+        workload_error=args.error,
+        estimator=args.estimator,
+        geography=args.geography,
+        **extra,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Adaptive-TTL DNS load balancing for heterogeneous web servers "
+            "(reproduction of Colajanni, Cardellini & Yu, ICDCS 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument("policy", help="policy name, e.g. DRR2-TTL/S_K")
+    run_parser.add_argument(
+        "--sparkline", action="store_true",
+        help="print a max-utilization timeline and overload episodes",
+    )
+    run_parser.add_argument(
+        "--report", action="store_true",
+        help="print the full analysis dossier instead of the summary",
+    )
+    _add_scenario_arguments(run_parser)
+
+    compare_parser = sub.add_parser("compare", help="compare several policies")
+    compare_parser.add_argument(
+        "policy", nargs="+", help="policy names to compare"
+    )
+    compare_parser.add_argument(
+        "--paired", type=int, default=0, metavar="N",
+        help="also run a paired comparison of the first two policies "
+        "over N common-random-numbers replications",
+    )
+    _add_scenario_arguments(compare_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="vary one parameter for one policy"
+    )
+    sweep_parser.add_argument("policy", help="policy name")
+    sweep_parser.add_argument(
+        "--param", required=True,
+        help="SimulationConfig field to vary (e.g. heterogeneity, "
+        "min_accepted_ttl, workload_error, total_clients)",
+    )
+    sweep_parser.add_argument(
+        "--values", required=True,
+        help="comma-separated values (numbers parsed automatically)",
+    )
+    _add_scenario_arguments(sweep_parser)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("figure_id", choices=sorted(FIGURES))
+    figure_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per point (default: 3600, or 18000 with "
+        "REPRO_PAPER_FIDELITY=1)",
+    )
+    figure_parser.add_argument("--seed", type=int, default=1)
+    figure_parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a text table"
+    )
+    figure_parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="also write the figure as JSON to PATH",
+    )
+
+    table_parser = sub.add_parser("table", help="print a paper table")
+    table_parser.add_argument("table_id", choices=("table1", "table2"))
+
+    grid_parser = sub.add_parser(
+        "grid", help="full-factorial run over two parameters"
+    )
+    grid_parser.add_argument(
+        "--rows", required=True, metavar="FIELD=V1,V2,...",
+        help="row axis, e.g. policy=RR,PRR2-TTL/K,DRR2-TTL/S_K",
+    )
+    grid_parser.add_argument(
+        "--cols", required=True, metavar="FIELD=V1,V2,...",
+        help="column axis, e.g. heterogeneity=20,35,50,65",
+    )
+    _add_scenario_arguments(grid_parser)
+
+    validate_parser = sub.add_parser(
+        "validate", help="run the model's internal consistency checks"
+    )
+    validate_parser.add_argument(
+        "--duration", type=float, default=3600.0,
+        help="simulated seconds for the validation run",
+    )
+    validate_parser.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("policies", help="list known policy names")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        config = _scenario_config(
+            args,
+            args.policy,
+            keep_utilization_series=args.sparkline or args.report,
+        )
+        result = run_simulation(config)
+        if args.report:
+            from .analysis import full_report
+
+            print(full_report(result))
+        else:
+            print(render_result(result))
+        if args.save:
+            from .experiments.persistence import save_json
+
+            path = save_json(result, args.save)
+            print(f"[result saved to {path}]")
+        if args.sparkline:
+            from .analysis import max_series, overload_episodes, sparkline
+
+            values = [value for _, value in max_series(result)]
+            print()
+            print(f"max utilization over time: {sparkline(values)}")
+            episodes = overload_episodes(result, threshold=0.98)
+            if episodes:
+                print(f"overload episodes (>= 0.98): {len(episodes)}")
+                for start, end, intervals in episodes[:10]:
+                    print(
+                        f"  t={start:8.0f}s .. {end:8.0f}s "
+                        f"({intervals} intervals)"
+                    )
+                if len(episodes) > 10:
+                    print(f"  ... and {len(episodes) - 10} more")
+            else:
+                print("no overload episodes (>= 0.98)")
+        return 0
+
+    if args.command == "compare":
+        base = _scenario_config(args, args.policy[0])
+        results = compare_policies(base, args.policy)
+        print(render_comparison(results))
+        if args.paired and len(args.policy) >= 2:
+            from .analysis import paired_comparison
+
+            comparison = paired_comparison(
+                base, args.policy[0], args.policy[1],
+                replications=args.paired,
+            )
+            print()
+            print(f"paired comparison ({args.paired} replications):")
+            print(f"  {comparison}")
+        return 0
+
+    if args.command == "sweep":
+        def parse_value(text: str):
+            for cast in (int, float):
+                try:
+                    return cast(text)
+                except ValueError:
+                    continue
+            return text
+
+        values = [parse_value(v) for v in args.values.split(",") if v]
+        base = _scenario_config(args, args.policy)
+        from .experiments.runner import sweep as run_sweep
+
+        rows = [
+            (value, f"{metric:.3f}", f"{result.mean_max_utilization:.3f}")
+            for value, metric, result in run_sweep(base, args.param, values)
+        ]
+        print(
+            format_table(
+                [args.param, "P(max<0.98)", "mean max util"], rows
+            )
+        )
+        return 0
+
+    if args.command == "figure":
+        figure = FIGURES[args.figure_id](duration=args.duration, seed=args.seed)
+        print(figure_to_csv(figure) if args.csv else render_figure(figure))
+        if args.save:
+            from .experiments.persistence import save_json
+
+            path = save_json(figure, args.save)
+            print(f"[figure saved to {path}]")
+        return 0
+
+    if args.command == "table":
+        if args.table_id == "table1":
+            print(format_table(["Parameter", "Setting"], table1()))
+        else:
+            rows = [
+                (f"{level}%", ", ".join(f"{a:g}" for a in alphas))
+                for level, alphas in sorted(table2().items())
+            ]
+            print(format_table(["Heterogeneity", "Relative capacities"], rows))
+        return 0
+
+    if args.command == "grid":
+        def parse_axis(text: str):
+            field, _, raw_values = text.partition("=")
+            if not raw_values:
+                raise SystemExit(f"bad axis {text!r}: expected FIELD=V1,V2")
+
+            def parse_value(token: str):
+                for cast in (int, float):
+                    try:
+                        return cast(token)
+                    except ValueError:
+                        continue
+                return token
+
+            return field, [parse_value(v) for v in raw_values.split(",") if v]
+
+        row_field, row_values = parse_axis(args.rows)
+        col_field, col_values = parse_axis(args.cols)
+        from .experiments.grid import run_grid
+
+        base = _scenario_config(args, "RR")
+        grid = run_grid(
+            base, {row_field: row_values, col_field: col_values}
+        )
+        print(grid.pivot_table(row_field, col_field))
+        return 0
+
+    if args.command == "validate":
+        from .experiments.validation import validate_run
+
+        report = validate_run(
+            SimulationConfig(duration=args.duration, seed=args.seed)
+        )
+        print(report)
+        return 0 if report.passed else 1
+
+    if args.command == "policies":
+        for name in available_policies():
+            print(name)
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The paper's contribution: DNS scheduling disciplines and adaptive TTL.
+
+Public surface:
+
+* :class:`Scheduler` and its implementations (RR, RR2, PRR, PRR2, DAL,
+  MRL, Random, WeightedRandom);
+* :class:`~repro.core.ttl.TtlPolicy` and its implementations (constant
+  and the adaptive TTL/i and TTL/S_i families);
+* :class:`SchedulerState` — shared alarm/capacity/estimate state;
+* the hidden-load estimators and domain classifiers;
+* the policy registry (:func:`parse_policy_name`, :func:`build_policy`,
+  :data:`PAPER_POLICIES`).
+"""
+
+from .base import Scheduler
+from .classes import (
+    DomainClassifier,
+    LoadQuantileClassifier,
+    PerDomainClassifier,
+    SingleClassClassifier,
+    TwoClassClassifier,
+)
+from .dal import DynamicallyAccumulatedLoadScheduler
+from .estimator import (
+    HiddenLoadEstimator,
+    MeasuredEstimator,
+    OracleEstimator,
+    SlidingWindowEstimator,
+)
+from .genie import LeastBackloggedScheduler
+from .mrl import MinimumResidualLoadScheduler
+from .probabilistic import (
+    ProbabilisticRoundRobinScheduler,
+    ProbabilisticTwoTierScheduler,
+)
+from .random_policy import RandomScheduler, WeightedRandomScheduler
+from .registry import (
+    EXTRA_POLICIES,
+    PAPER_POLICIES,
+    PolicySpec,
+    available_policies,
+    build_policy,
+    parse_policy_name,
+)
+from .round_robin import RoundRobinScheduler, TwoTierRoundRobinScheduler
+from .state import SchedulerState
+from .wrr import SmoothWeightedRoundRobinScheduler
+from .ttl import (
+    AdaptiveTtlPolicy,
+    ConstantTtlPolicy,
+    DEFAULT_CONSTANT_TTL,
+    TtlPolicy,
+)
+
+__all__ = [
+    "AdaptiveTtlPolicy",
+    "ConstantTtlPolicy",
+    "DEFAULT_CONSTANT_TTL",
+    "DomainClassifier",
+    "DynamicallyAccumulatedLoadScheduler",
+    "EXTRA_POLICIES",
+    "HiddenLoadEstimator",
+    "LeastBackloggedScheduler",
+    "LoadQuantileClassifier",
+    "MeasuredEstimator",
+    "MinimumResidualLoadScheduler",
+    "OracleEstimator",
+    "PAPER_POLICIES",
+    "PerDomainClassifier",
+    "PolicySpec",
+    "ProbabilisticRoundRobinScheduler",
+    "ProbabilisticTwoTierScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SchedulerState",
+    "SingleClassClassifier",
+    "SlidingWindowEstimator",
+    "SmoothWeightedRoundRobinScheduler",
+    "TtlPolicy",
+    "TwoClassClassifier",
+    "TwoTierRoundRobinScheduler",
+    "WeightedRandomScheduler",
+    "available_policies",
+    "build_policy",
+    "parse_policy_name",
+]

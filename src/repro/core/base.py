@@ -1,0 +1,48 @@
+"""Scheduler interface.
+
+A scheduler answers one question: *which web server should this address
+request be mapped to?* It sees only the source domain of the request and
+the shared :class:`~repro.core.state.SchedulerState` (capacities, alarm
+flags, load estimates) — precisely the information available to the
+paper's DNS scheduler. The TTL attached to the mapping is chosen
+separately by a :mod:`repro.core.ttl` policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .state import SchedulerState
+
+
+class Scheduler:
+    """Base class for DNS server-selection disciplines.
+
+    Subclasses implement :meth:`select` and should honour the alarm
+    feedback via :meth:`SchedulerState.is_eligible`.
+    """
+
+    #: Human-readable policy-family name (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, state: SchedulerState):
+        self.state = state
+        #: Mappings issued per server (diagnostics).
+        self.assignments: Dict[int, int] = {}
+
+    def select(self, domain_id: int, now: float) -> int:
+        """Pick a server for an address request from ``domain_id``."""
+        raise NotImplementedError
+
+    def notify_assignment(
+        self, domain_id: int, server_id: int, ttl: float, now: float
+    ) -> None:
+        """Hook called by the DNS after the TTL has been decided.
+
+        The base implementation only keeps per-server counters;
+        load-accumulating disciplines (DAL, MRL) override it.
+        """
+        self.assignments[server_id] = self.assignments.get(server_id, 0) + 1
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,47 @@
+"""DAL — minimum Dynamically Accumulated Load (baseline from ICDCS'97).
+
+DAL tracks, per server, the total hidden load weight of the mappings the
+DNS has assigned to it, and routes each new address request to the server
+with the minimum accumulated load. The paper evaluates DAL (in a version
+"that takes into account the different capacity of the servers", i.e.
+accumulated load normalized by relative capacity) to demonstrate that
+policies designed for homogeneous sites do *not* transfer to
+heterogeneous ones (Fig. 3) — accumulated counters never forget, so a
+burst of hot-domain assignments poisons the ranking long after the
+corresponding TTLs expired.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Scheduler
+from .state import SchedulerState
+
+
+class DynamicallyAccumulatedLoadScheduler(Scheduler):
+    """Capacity-normalized minimum accumulated hidden load."""
+
+    name = "DAL"
+
+    def __init__(self, state: SchedulerState):
+        super().__init__(state)
+        #: Sum of hidden load weights assigned to each server so far.
+        self.accumulated: List[float] = [0.0] * state.server_count
+
+    def _weight_of(self, domain_id: int) -> float:
+        return self.state.estimator.shares()[domain_id]
+
+    def select(self, domain_id: int, now: float) -> int:
+        weight = self._weight_of(domain_id)
+        alphas = self.state.relative_capacities
+        best: int = -1
+        best_cost = float("inf")
+        for server_id in range(self.state.server_count):
+            if not self.state.is_eligible(server_id):
+                continue
+            cost = (self.accumulated[server_id] + weight) / alphas[server_id]
+            if cost < best_cost:
+                best, best_cost = server_id, cost
+        self.accumulated[best] += weight
+        return best

@@ -1,0 +1,54 @@
+"""Instantaneous-state baseline: route to the least-backlogged server.
+
+A real DNS cannot observe server queues; this baseline grants that
+ability anyway: every address request is answered with the server whose
+capacity-normalized outstanding work is currently smallest.
+
+One might expect an omniscient "join the shortest queue" to be an upper
+bound — it is not, and that is the point. A DNS mapping is not a job: it
+pins an entire domain to the server for the whole TTL, and the *hidden
+load* it unleashes arrives over minutes, long after the queue snapshot
+that justified the choice. Measured against the adaptive-TTL policies
+(see ``benchmarks/bench_ablation_genie.py``), least-backlogged routing
+barely beats plain RR — a quantitative demonstration of the paper's core
+thesis that DNS scheduling must reason about *future hidden load per
+unit of capacity* (domain rates, TTL durations), not instantaneous
+server state.
+"""
+
+from __future__ import annotations
+
+from .base import Scheduler
+from .state import SchedulerState
+
+
+class LeastBackloggedScheduler(Scheduler):
+    """Pick the eligible server with the least seconds of queued work."""
+
+    name = "LEAST-LOADED"
+
+    def __init__(self, state: SchedulerState):
+        super().__init__(state)
+        if getattr(state, "cluster", None) is None:
+            raise ValueError(
+                "LEAST-LOADED needs SchedulerState.cluster "
+                "(instantaneous-state baseline)"
+            )
+
+    def select(self, domain_id: int, now: float) -> int:
+        servers = self.state.cluster.servers
+        best = -1
+        best_backlog = float("inf")
+        for server_id in range(self.state.server_count):
+            if not self.state.is_eligible(server_id):
+                continue
+            # Normalize by relative capacity so a half-speed server with
+            # the same queued seconds is considered more loaded.
+            backlog = (
+                servers[server_id].backlog_seconds
+                / self.state.relative_capacities[server_id]
+            )
+            if backlog < best_backlog:
+                best = server_id
+                best_backlog = backlog
+        return best

@@ -1,0 +1,69 @@
+"""MRL — Minimum Residual Load (baseline from ICDCS'97).
+
+MRL refines DAL by letting assigned load *expire*: a mapping handed to a
+domain only generates hidden load while its TTL is alive, so the residual
+load of a server is the sum of the weights of its still-valid mappings,
+each discounted by the fraction of its TTL that remains. The scheduler
+needs to know the TTL granted with each mapping, which it learns through
+the :meth:`notify_assignment` hook invoked by the authoritative DNS after
+the TTL policy has run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from .base import Scheduler
+from .state import SchedulerState
+
+#: One live mapping: (issued_at, expires_at, weight).
+_Lease = Tuple[float, float, float]
+
+
+class MinimumResidualLoadScheduler(Scheduler):
+    """Pick the eligible server with the least capacity-normalized
+    residual (TTL-discounted) assigned load."""
+
+    name = "MRL"
+
+    def __init__(self, state: SchedulerState):
+        super().__init__(state)
+        self._leases: List[Deque[_Lease]] = [
+            deque() for _ in range(state.server_count)
+        ]
+
+    def residual_load(self, server_id: int, now: float) -> float:
+        """Sum of live mapping weights, discounted by remaining lifetime."""
+        leases = self._leases[server_id]
+        # Leases are appended in issue order, which with adaptive TTLs is
+        # not expiry order: drop the expired head, but also guard each
+        # remaining term against having expired behind a longer lease.
+        while leases and leases[0][1] <= now:
+            leases.popleft()
+        residual = 0.0
+        for issued_at, expires_at, weight in leases:
+            ttl = expires_at - issued_at
+            if ttl <= 0 or expires_at <= now:
+                continue
+            residual += weight * (expires_at - now) / ttl
+        return residual
+
+    def select(self, domain_id: int, now: float) -> int:
+        alphas = self.state.relative_capacities
+        best: int = -1
+        best_cost = float("inf")
+        for server_id in range(self.state.server_count):
+            if not self.state.is_eligible(server_id):
+                continue
+            cost = self.residual_load(server_id, now) / alphas[server_id]
+            if cost < best_cost:
+                best, best_cost = server_id, cost
+        return best
+
+    def notify_assignment(
+        self, domain_id: int, server_id: int, ttl: float, now: float
+    ) -> None:
+        super().notify_assignment(domain_id, server_id, ttl, now)
+        weight = self.state.estimator.shares()[domain_id]
+        self._leases[server_id].append((now, now + ttl, weight))

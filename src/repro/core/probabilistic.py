@@ -1,0 +1,87 @@
+"""Probabilistic round-robin selection: PRR and PRR2 (paper Sec. 3.1).
+
+The probabilistic variants extend RR/RR2 to heterogeneous servers by
+making the round-robin advance *capacity-biased*: starting from the
+server after the last chosen one, draw ``beta ~ U(0, 1)`` and accept
+server ``S_i`` iff ``beta <= alpha_i`` (its relative capacity), otherwise
+skip to ``S_{i+1}`` and repeat with a fresh draw. Full-capacity servers
+are never skipped, so the scan always terminates; in the long run server
+``i`` receives a share of mappings proportional to ``alpha_i`` within
+each round-robin sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..errors import PolicyError
+from .base import Scheduler
+from .classes import TwoClassClassifier
+from .state import SchedulerState
+
+
+def _capacity_biased_next(
+    state: SchedulerState, last: int, rng: random.Random
+) -> int:
+    """One PRR scan: next eligible server, accepted with prob alpha_i."""
+    n = state.server_count
+    alphas = state.relative_capacities
+    index = last
+    # Eligible relative capacities are positive, so the scan terminates
+    # with probability 1; the bound below only guards against a degenerate
+    # RNG, after which the next eligible server is accepted outright.
+    for _ in range(64 * n):
+        index = (index + 1) % n
+        if not state.is_eligible(index):
+            continue
+        if rng.random() <= alphas[index]:
+            return index
+    for _ in range(n):
+        index = (index + 1) % n
+        if state.is_eligible(index):
+            return index
+    raise PolicyError("no eligible server found")  # pragma: no cover
+
+
+class ProbabilisticRoundRobinScheduler(Scheduler):
+    """PRR — capacity-biased round-robin over eligible servers."""
+
+    name = "PRR"
+
+    def __init__(self, state: SchedulerState, rng: random.Random):
+        super().__init__(state)
+        self._rng = rng
+        self._last = state.server_count - 1
+
+    def select(self, domain_id: int, now: float) -> int:
+        self._last = _capacity_biased_next(self.state, self._last, self._rng)
+        return self._last
+
+
+class ProbabilisticTwoTierScheduler(Scheduler):
+    """PRR2 — capacity-biased round-robin with per-tier pointers."""
+
+    name = "PRR2"
+
+    def __init__(
+        self,
+        state: SchedulerState,
+        rng: random.Random,
+        classifier=None,
+    ):
+        super().__init__(state)
+        self._rng = rng
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else TwoClassClassifier(state.estimator)
+        )
+        self._last: Dict[int, int] = {}
+
+    def select(self, domain_id: int, now: float) -> int:
+        tier = self.classifier.class_of(domain_id)
+        last = self._last.get(tier, self.state.server_count - 1)
+        chosen = _capacity_biased_next(self.state, last, self._rng)
+        self._last[tier] = chosen
+        return chosen

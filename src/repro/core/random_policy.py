@@ -1,0 +1,49 @@
+"""Stateless randomized selection baselines.
+
+Not part of the paper's comparison but standard reference points for any
+load-balancing study: uniform random selection and capacity-weighted
+random selection. Both honour the alarm feedback.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Scheduler
+from .state import SchedulerState
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random pick among eligible servers."""
+
+    name = "RANDOM"
+
+    def __init__(self, state: SchedulerState, rng: random.Random):
+        super().__init__(state)
+        self._rng = rng
+
+    def select(self, domain_id: int, now: float) -> int:
+        eligible = self.state.eligible_servers()
+        return eligible[self._rng.randrange(len(eligible))]
+
+
+class WeightedRandomScheduler(Scheduler):
+    """Random pick among eligible servers with probability ∝ capacity."""
+
+    name = "WRANDOM"
+
+    def __init__(self, state: SchedulerState, rng: random.Random):
+        super().__init__(state)
+        self._rng = rng
+
+    def select(self, domain_id: int, now: float) -> int:
+        eligible = self.state.eligible_servers()
+        alphas = self.state.relative_capacities
+        total = sum(alphas[i] for i in eligible)
+        pick = self._rng.random() * total
+        accumulated = 0.0
+        for server_id in eligible:
+            accumulated += alphas[server_id]
+            if pick <= accumulated:
+                return server_id
+        return eligible[-1]  # float drift fallback

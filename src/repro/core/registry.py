@@ -1,0 +1,334 @@
+"""Policy registry: names -> (scheduler, TTL policy) factories.
+
+The paper refers to policies by compound names such as ``DRR2-TTL/S_K``:
+a *selection* part (RR, RR2, PRR, PRR2, DRR, DRR2, DAL, MRL, ...) and a
+*TTL* part (constant, TTL/2, TTL/K, TTL/S_1, TTL/S_2, TTL/S_K). This
+module parses those names, exposes the catalogue of policies the paper
+evaluates, and builds ready-to-use (scheduler, TTL policy) pairs wired to
+a shared :class:`~repro.core.state.SchedulerState`.
+
+Name grammar (case-insensitive; ``_`` optional; ``-`` or `` `` between
+parts)::
+
+    RR | RR2 | DAL | MRL | RANDOM | WRANDOM | IDEAL
+    (P|D) RR [2] - TTL/ [S_] (1 | 2 | <int> | K)
+
+``IDEAL`` is PRR with a constant TTL evaluated under a *uniform* client
+distribution — the paper's envelope curve; its
+:attr:`PolicySpec.uniform_workload` flag tells the simulation assembly to
+swap the workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError, UnknownPolicyError
+from ..sim.rng import RandomStreams
+from .base import Scheduler
+from .classes import (
+    DomainClassifier,
+    LoadQuantileClassifier,
+    PerDomainClassifier,
+    SingleClassClassifier,
+    TwoClassClassifier,
+)
+from .dal import DynamicallyAccumulatedLoadScheduler
+from .genie import LeastBackloggedScheduler
+from .mrl import MinimumResidualLoadScheduler
+from .probabilistic import (
+    ProbabilisticRoundRobinScheduler,
+    ProbabilisticTwoTierScheduler,
+)
+from .random_policy import RandomScheduler, WeightedRandomScheduler
+from .round_robin import RoundRobinScheduler, TwoTierRoundRobinScheduler
+from .state import SchedulerState
+from .wrr import SmoothWeightedRoundRobinScheduler
+from .ttl import (
+    AdaptiveTtlPolicy,
+    ConstantTtlPolicy,
+    TtlPolicy,
+    capacity_selection_probabilities,
+    uniform_selection_probabilities,
+)
+
+#: Tier specification: 1, 2, any int >= 1, or "K" (one class per domain).
+Tiers = Union[int, str]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A parsed scheduling policy.
+
+    Attributes
+    ----------
+    name:
+        Canonical display name (e.g. ``"DRR2-TTL/S_K"``).
+    selector:
+        Selection discipline: ``RR``, ``RR2``, ``PRR``, ``PRR2``, ``DAL``,
+        ``MRL``, ``RANDOM`` or ``WRANDOM``.
+    adaptive_ttl:
+        Whether the TTL part is adaptive (``False`` = constant TTL).
+    tiers:
+        Domain-class count of the TTL policy (1, 2, int, or ``"K"``);
+        meaningless when ``adaptive_ttl`` is ``False``.
+    server_scaled:
+        Whether the TTL is proportional to server capacity (the
+        deterministic ``TTL/S_i`` family).
+    uniform_workload:
+        ``True`` only for ``IDEAL`` (evaluate under uniform domains).
+    alarm_scaled_ttl:
+        Wrap the TTL policy in
+        :class:`~repro.core.ttl.feedback.AlarmResponsiveTtlPolicy`
+        (the ``-FB`` name suffix; extension, not in the paper).
+    """
+
+    name: str
+    selector: str
+    adaptive_ttl: bool = False
+    tiers: Tiers = 1
+    server_scaled: bool = False
+    uniform_workload: bool = False
+    alarm_scaled_ttl: bool = False
+
+    def __post_init__(self):
+        if self.selector not in _SELECTORS:
+            raise ConfigurationError(f"unknown selector {self.selector!r}")
+        if isinstance(self.tiers, int) and self.tiers < 1:
+            raise ConfigurationError(f"tiers must be >= 1, got {self.tiers!r}")
+        if isinstance(self.tiers, str) and self.tiers != "K":
+            raise ConfigurationError(f"tiers must be an int or 'K', got {self.tiers!r}")
+
+    @property
+    def probabilistic(self) -> bool:
+        """Whether selection is capacity-biased (PRR family)."""
+        return self.selector in ("PRR", "PRR2")
+
+
+_SELECTORS = (
+    "RR",
+    "RR2",
+    "PRR",
+    "PRR2",
+    "DAL",
+    "MRL",
+    "RANDOM",
+    "WRANDOM",
+    "WRR",
+    "LEAST-LOADED",
+    "PROXIMITY",
+    "GEO-HYBRID",
+)
+
+#: The policies the paper evaluates, by canonical name.
+PAPER_POLICIES: Dict[str, PolicySpec] = {
+    spec.name: spec
+    for spec in [
+        PolicySpec("RR", "RR"),
+        PolicySpec("RR2", "RR2"),
+        PolicySpec("DAL", "DAL"),
+        PolicySpec("MRL", "MRL"),
+        PolicySpec("IDEAL", "PRR", uniform_workload=True),
+        PolicySpec("PRR-TTL/1", "PRR"),
+        PolicySpec("PRR2-TTL/1", "PRR2"),
+        PolicySpec("PRR-TTL/2", "PRR", adaptive_ttl=True, tiers=2),
+        PolicySpec("PRR2-TTL/2", "PRR2", adaptive_ttl=True, tiers=2),
+        PolicySpec("PRR-TTL/K", "PRR", adaptive_ttl=True, tiers="K"),
+        PolicySpec("PRR2-TTL/K", "PRR2", adaptive_ttl=True, tiers="K"),
+        PolicySpec(
+            "DRR-TTL/S_1", "RR", adaptive_ttl=True, tiers=1, server_scaled=True
+        ),
+        PolicySpec(
+            "DRR2-TTL/S_1", "RR2", adaptive_ttl=True, tiers=1, server_scaled=True
+        ),
+        PolicySpec(
+            "DRR-TTL/S_2", "RR", adaptive_ttl=True, tiers=2, server_scaled=True
+        ),
+        PolicySpec(
+            "DRR2-TTL/S_2", "RR2", adaptive_ttl=True, tiers=2, server_scaled=True
+        ),
+        PolicySpec(
+            "DRR-TTL/S_K", "RR", adaptive_ttl=True, tiers="K", server_scaled=True
+        ),
+        PolicySpec(
+            "DRR2-TTL/S_K", "RR2", adaptive_ttl=True, tiers="K", server_scaled=True
+        ),
+    ]
+}
+
+#: Extra baselines available by name but not part of the paper's figures.
+EXTRA_POLICIES: Dict[str, PolicySpec] = {
+    "RANDOM": PolicySpec("RANDOM", "RANDOM"),
+    "WRANDOM": PolicySpec("WRANDOM", "WRANDOM"),
+    "WRR": PolicySpec("WRR", "WRR"),
+    "LEAST-LOADED": PolicySpec("LEAST-LOADED", "LEAST-LOADED"),
+    # Geographic policies; require a layout (SimulationConfig geography).
+    "PROXIMITY": PolicySpec("PROXIMITY", "PROXIMITY"),
+    "GEO-HYBRID": PolicySpec("GEO-HYBRID", "GEO-HYBRID"),
+}
+
+_COMPOUND = re.compile(
+    r"^(?P<kind>[PD])RR(?P<two>2)?-TTL/(?P<scaled>S_?)?(?P<tiers>\d+|K)$"
+)
+
+
+def _canonical_tiers(raw: str) -> Tiers:
+    return "K" if raw == "K" else int(raw)
+
+
+def parse_policy_name(name: str) -> PolicySpec:
+    """Parse a policy name into a :class:`PolicySpec`.
+
+    Accepts the catalogue names plus any well-formed compound name
+    (e.g. the ablation policy ``"PRR2-TTL/4"``), case-insensitively and
+    with ``_``/space variations.
+    """
+    cleaned = re.sub(r"\s+", "", name).upper().replace("--", "-")
+    alarm_scaled = cleaned.endswith("-FB")
+    if alarm_scaled:
+        cleaned = cleaned[: -len("-FB")]
+    aliases = {
+        "DRR": "RR",  # deterministic selection *is* plain RR
+        "DRR2": "RR2",
+        "PRR": "PRR-TTL/1",
+        "PRR2": "PRR2-TTL/1",
+    }
+    cleaned = aliases.get(cleaned, cleaned)
+    simple = cleaned.replace("_", "")
+    spec: Optional[PolicySpec] = None
+    for catalogue in (PAPER_POLICIES, EXTRA_POLICIES):
+        for canonical, candidate in catalogue.items():
+            if simple == canonical.replace("_", ""):
+                spec = candidate
+                break
+        if spec is not None:
+            break
+    if spec is None:
+        match = _COMPOUND.match(cleaned)
+        if match is None:
+            known = sorted(PAPER_POLICIES) + sorted(EXTRA_POLICIES)
+            raise UnknownPolicyError(name, known)
+        kind = match.group("kind")
+        two = bool(match.group("two"))
+        scaled = bool(match.group("scaled"))
+        tiers = _canonical_tiers(match.group("tiers"))
+        if kind == "P":
+            selector = "PRR2" if two else "PRR"
+        else:
+            selector = "RR2" if two else "RR"
+        adaptive = scaled or tiers != 1
+        label_sel = ("D" if kind == "D" else "P") + "RR" + ("2" if two else "")
+        label_ttl = f"TTL/{'S_' if scaled else ''}{tiers}"
+        spec = PolicySpec(
+            name=f"{label_sel}-{label_ttl}",
+            selector=selector,
+            adaptive_ttl=adaptive,
+            tiers=tiers,
+            server_scaled=scaled,
+        )
+    if alarm_scaled:
+        spec = dataclasses.replace(
+            spec, name=f"{spec.name}-FB", alarm_scaled_ttl=True
+        )
+    return spec
+
+
+def available_policies() -> List[str]:
+    """Canonical names of every catalogued policy."""
+    return sorted(PAPER_POLICIES) + sorted(EXTRA_POLICIES)
+
+
+def _make_classifier(state: SchedulerState, tiers: Tiers) -> DomainClassifier:
+    if tiers == "K":
+        return PerDomainClassifier(state.estimator)
+    if tiers == 1:
+        return SingleClassClassifier(state.estimator)
+    if tiers == 2:
+        return TwoClassClassifier(state.estimator)
+    return LoadQuantileClassifier(state.estimator, tiers)
+
+
+def build_policy(
+    spec: Union[PolicySpec, str],
+    state: SchedulerState,
+    streams: RandomStreams,
+    constant_ttl: float = 240.0,
+) -> Tuple[Scheduler, TtlPolicy]:
+    """Instantiate the (scheduler, TTL policy) pair for ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`PolicySpec` or a policy name accepted by
+        :func:`parse_policy_name`.
+    state:
+        Shared scheduler state (one per simulation).
+    streams:
+        Random streams; probabilistic schedulers draw from
+        ``streams.stream("scheduler")``.
+    constant_ttl:
+        The reference TTL (Table 1: 240 s) used directly by constant
+        policies and as the calibration target by adaptive ones.
+    """
+    if isinstance(spec, str):
+        spec = parse_policy_name(spec)
+    rng = streams.stream("scheduler")
+    if spec.selector == "RR":
+        scheduler: Scheduler = RoundRobinScheduler(state)
+    elif spec.selector == "RR2":
+        scheduler = TwoTierRoundRobinScheduler(state)
+    elif spec.selector == "PRR":
+        scheduler = ProbabilisticRoundRobinScheduler(state, rng)
+    elif spec.selector == "PRR2":
+        scheduler = ProbabilisticTwoTierScheduler(state, rng)
+    elif spec.selector == "DAL":
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+    elif spec.selector == "MRL":
+        scheduler = MinimumResidualLoadScheduler(state)
+    elif spec.selector == "RANDOM":
+        scheduler = RandomScheduler(state, rng)
+    elif spec.selector == "WRANDOM":
+        scheduler = WeightedRandomScheduler(state, rng)
+    elif spec.selector == "WRR":
+        scheduler = SmoothWeightedRoundRobinScheduler(state)
+    elif spec.selector == "LEAST-LOADED":
+        scheduler = LeastBackloggedScheduler(state)
+    elif spec.selector in ("PROXIMITY", "GEO-HYBRID"):
+        from ..geo.scheduler import ProximityScheduler
+
+        if getattr(state, "layout", None) is None:
+            raise ConfigurationError(
+                f"policy {spec.name!r} needs a geographic layout; set "
+                f"SimulationConfig(geography='random' or 'clustered')"
+            )
+        slack = 1.0 if spec.selector == "PROXIMITY" else 2.0
+        scheduler = ProximityScheduler(state, state.layout, slack=slack)
+    else:  # pragma: no cover - PolicySpec validates selectors
+        raise ConfigurationError(f"unknown selector {spec.selector!r}")
+    scheduler.name = spec.name
+
+    if not spec.adaptive_ttl:
+        ttl_policy: TtlPolicy = ConstantTtlPolicy(constant_ttl)
+    else:
+        if spec.probabilistic:
+            probabilities = capacity_selection_probabilities(
+                state.relative_capacities
+            )
+        else:
+            probabilities = uniform_selection_probabilities(state.server_count)
+        ttl_policy = AdaptiveTtlPolicy(
+            state=state,
+            classifier=_make_classifier(state, spec.tiers),
+            scale_by_capacity=spec.server_scaled,
+            selection_probabilities=probabilities,
+            constant_ttl=constant_ttl,
+        )
+        ttl_policy.name = spec.name.split("-", 1)[-1]
+    if spec.alarm_scaled_ttl:
+        from .ttl.feedback import AlarmResponsiveTtlPolicy
+
+        ttl_policy = AlarmResponsiveTtlPolicy(ttl_policy, state)
+    return scheduler, ttl_policy

@@ -1,0 +1,85 @@
+"""Round-robin server selection: RR and the two-tier RR2.
+
+RR is the scheme used by the NCSA multi-server site and is the paper's
+lower bound. RR2 (from Colajanni/Yu/Dias, ICDCS'97) keeps *separate*
+round-robin pointers for requests from hot and normal domains, so that
+consecutive hot-domain mappings — each dragging a large hidden load —
+are spread over different servers instead of whichever server the global
+pointer happens to reach.
+
+These same classes implement the selection step of the deterministic
+adaptive-TTL policies (DRR-TTL/S_i and DRR2-TTL/S_i): "the server
+selection is done through the traditional RR or RR2 policy" — server
+heterogeneity is absorbed entirely by the TTL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Scheduler
+from .classes import TwoClassClassifier
+from .state import SchedulerState
+
+
+class RoundRobinScheduler(Scheduler):
+    """Plain round-robin over the eligible (non-alarmed) servers."""
+
+    name = "RR"
+
+    def __init__(self, state: SchedulerState):
+        super().__init__(state)
+        self._last = state.server_count - 1  # so the first pick is server 0
+
+    def _next_eligible(self, last: int) -> int:
+        n = self.state.server_count
+        for step in range(1, n + 1):
+            candidate = (last + step) % n
+            if self.state.is_eligible(candidate):
+                return candidate
+        return (last + 1) % n  # unreachable: is_eligible never rejects all
+
+    def select(self, domain_id: int, now: float) -> int:
+        self._last = self._next_eligible(self._last)
+        return self._last
+
+
+class TwoTierRoundRobinScheduler(Scheduler):
+    """RR2 — per-class round-robin pointers (hot vs normal domains).
+
+    Parameters
+    ----------
+    state:
+        Shared scheduler state.
+    classifier:
+        Domain classifier defining the tiers; defaults to the paper's
+        hot/normal split at ``gamma = 1/K``. Any
+        :class:`~repro.core.classes.DomainClassifier` works, so the
+        two-tier idea generalizes to i tiers for free.
+    """
+
+    name = "RR2"
+
+    def __init__(self, state: SchedulerState, classifier=None):
+        super().__init__(state)
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else TwoClassClassifier(state.estimator)
+        )
+        self._last: Dict[int, int] = {}
+
+    def _next_eligible(self, last: int) -> int:
+        n = self.state.server_count
+        for step in range(1, n + 1):
+            candidate = (last + step) % n
+            if self.state.is_eligible(candidate):
+                return candidate
+        return (last + 1) % n  # unreachable: is_eligible never rejects all
+
+    def select(self, domain_id: int, now: float) -> int:
+        tier = self.classifier.class_of(domain_id)
+        last = self._last.get(tier, self.state.server_count - 1)
+        chosen = self._next_eligible(last)
+        self._last[tier] = chosen
+        return chosen

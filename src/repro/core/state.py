@@ -1,0 +1,89 @@
+"""Shared scheduler-side state: cluster shape, alarms, load estimates.
+
+The DNS scheduler, the TTL policy, the alarm feedback protocol, and the
+hidden-load estimator all observe the same slice of system state. This
+module centralizes it so the pieces compose without knowing about each
+other: the monitor pushes alarm transitions in, schedulers read the
+eligible-server set out, TTL policies read capacities and estimates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..web.cluster import ServerCluster
+from .estimator import HiddenLoadEstimator
+
+
+class SchedulerState:
+    """State shared by the scheduler and TTL policy of one DNS.
+
+    Parameters
+    ----------
+    cluster:
+        The web-server cluster being scheduled (capacities are read once;
+        the paper treats capacities as static).
+    estimator:
+        Source of hidden-load-weight estimates.
+    """
+
+    def __init__(self, cluster: ServerCluster, estimator: HiddenLoadEstimator):
+        if len(cluster) < 1:
+            raise ConfigurationError("cluster must contain at least one server")
+        self.relative_capacities: List[float] = list(cluster.relative_capacities)
+        self.capacities: List[float] = list(cluster.capacities)
+        self.server_count: int = len(cluster)
+        self.power_ratio: float = cluster.power_ratio
+        self.estimator = estimator
+        #: The cluster itself. Realistic DNS schedulers must not touch
+        #: this (a real DNS cannot see server queues); it exists for the
+        #: omniscient upper-bound baselines (e.g. LEAST-LOADED).
+        self.cluster = cluster
+        #: Optional :class:`~repro.geo.placement.GeographicLayout`,
+        #: attached by the simulation assembly when geography is enabled;
+        #: required by the proximity schedulers.
+        self.layout = None
+        self._alarmed: List[bool] = [False] * self.server_count
+        self._alarmed_count = 0
+
+    # -- alarm feedback (paper Sec. 2) -------------------------------------
+
+    def set_alarm(self, now: float, server_id: int, alarmed: bool) -> None:
+        """Alarm listener callback (wired to the utilization monitor)."""
+        if self._alarmed[server_id] != alarmed:
+            self._alarmed[server_id] = alarmed
+            self._alarmed_count += 1 if alarmed else -1
+
+    def is_alarmed(self, server_id: int) -> bool:
+        return self._alarmed[server_id]
+
+    @property
+    def alarmed_count(self) -> int:
+        """How many servers are currently alarmed."""
+        return self._alarmed_count
+
+    @property
+    def all_alarmed(self) -> bool:
+        """Whether every server has declared itself critically loaded.
+
+        Schedulers fall back to considering all servers in this case —
+        requests must go somewhere.
+        """
+        return self._alarmed_count == self.server_count
+
+    def is_eligible(self, server_id: int) -> bool:
+        """A server is eligible unless alarmed (or everything is alarmed)."""
+        return self.all_alarmed or not self._alarmed[server_id]
+
+    def eligible_servers(self) -> List[int]:
+        """Indices of servers a scheduler may currently pick."""
+        if self.all_alarmed:
+            return list(range(self.server_count))
+        return [i for i, alarmed in enumerate(self._alarmed) if not alarmed]
+
+    def __repr__(self) -> str:
+        return (
+            f"<SchedulerState servers={self.server_count} "
+            f"alarmed={self._alarmed_count}>"
+        )

@@ -1,0 +1,26 @@
+"""TTL-assignment policies (constant and the adaptive TTL family)."""
+
+from .adaptive import AdaptiveTtlPolicy
+from .base import TtlPolicy
+from .calibration import (
+    calibrated_scale,
+    capacity_selection_probabilities,
+    expected_request_rate,
+    reference_request_rate,
+    uniform_selection_probabilities,
+)
+from .constant import DEFAULT_CONSTANT_TTL, ConstantTtlPolicy
+from .feedback import AlarmResponsiveTtlPolicy
+
+__all__ = [
+    "AdaptiveTtlPolicy",
+    "AlarmResponsiveTtlPolicy",
+    "ConstantTtlPolicy",
+    "DEFAULT_CONSTANT_TTL",
+    "TtlPolicy",
+    "calibrated_scale",
+    "capacity_selection_probabilities",
+    "expected_request_rate",
+    "reference_request_rate",
+    "uniform_selection_probabilities",
+]

@@ -1,0 +1,23 @@
+"""TTL policy interface.
+
+A TTL policy answers the second half of every DNS resolution: *for how
+long may this mapping be reused?* The adaptive-TTL idea — the paper's
+contribution — lives entirely behind this interface; schedulers and the
+DNS are oblivious to how the value is computed.
+"""
+
+from __future__ import annotations
+
+
+class TtlPolicy:
+    """Base class for TTL-assignment disciplines."""
+
+    #: Human-readable policy-family name (set by subclasses).
+    name: str = "abstract"
+
+    def ttl_for(self, domain_id: int, server_id: int, now: float) -> float:
+        """TTL (seconds) for a mapping of ``domain_id`` to ``server_id``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

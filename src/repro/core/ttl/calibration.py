@@ -1,0 +1,111 @@
+"""TTL-scale calibration for fair policy comparison.
+
+Paper, Section 4.1: "Since an arbitrary choice of TTL would lead to
+unfair performance comparisons, for each adaptive TTL policy we have
+chosen the TTL values in such a way that their average address request
+rates remain the same" (as the 240 s constant-TTL policies).
+
+A continuously active domain re-resolves once per TTL period, so its
+address-request rate is ``1 / E[TTL]`` where the expectation runs over
+the servers the scheduler may map it to. For a separable adaptive policy
+
+``TTL(i, j) = scale * a_i / W_j``
+
+(``a_i`` = per-server factor, ``W_j`` = class weight of domain ``j``'s
+class) the system-wide rate is
+
+``R(scale) = sum_j W_j / (scale * a_bar)``,  ``a_bar = sum_i p_i a_i``,
+
+with ``p_i`` the scheduler's stationary selection probabilities. Equating
+``R(scale)`` with the reference rate ``K / TTL_const`` yields the closed
+form implemented by :func:`calibrated_scale`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...errors import ConfigurationError
+
+
+def uniform_selection_probabilities(server_count: int) -> List[float]:
+    """Stationary selection of RR-style deterministic schedulers."""
+    if server_count < 1:
+        raise ConfigurationError(f"server_count must be >= 1, got {server_count!r}")
+    return [1.0 / server_count] * server_count
+
+
+def capacity_selection_probabilities(
+    relative_capacities: Sequence[float],
+) -> List[float]:
+    """Stationary selection of PRR-style capacity-biased schedulers.
+
+    Within one sweep, server ``i`` is chosen proportionally to the
+    probability ``alpha_i`` that its acceptance test passes.
+    """
+    alphas = [float(a) for a in relative_capacities]
+    if not alphas or any(a <= 0 for a in alphas):
+        raise ConfigurationError("relative capacities must be positive")
+    total = sum(alphas)
+    return [a / total for a in alphas]
+
+
+def reference_request_rate(domain_count: int, constant_ttl: float) -> float:
+    """Address-request rate of the constant-TTL policy: ``K / TTL``."""
+    if domain_count < 1:
+        raise ConfigurationError(f"domain_count must be >= 1, got {domain_count!r}")
+    if constant_ttl <= 0:
+        raise ConfigurationError(f"constant_ttl must be > 0, got {constant_ttl!r}")
+    return domain_count / constant_ttl
+
+
+def calibrated_scale(
+    domain_class_weights: Sequence[float],
+    server_factors: Sequence[float],
+    selection_probabilities: Sequence[float],
+    reference_rate: float,
+) -> float:
+    """The ``scale`` equating the policy's request rate to ``reference_rate``.
+
+    Parameters
+    ----------
+    domain_class_weights:
+        ``W_{class(j)}`` for every domain ``j`` (one entry per *domain*).
+    server_factors:
+        ``a_i`` per server (all 1 for policies that ignore capacity).
+    selection_probabilities:
+        Stationary probability that the scheduler picks each server.
+    reference_rate:
+        Target address-request rate (see :func:`reference_request_rate`).
+    """
+    if reference_rate <= 0:
+        raise ConfigurationError(
+            f"reference_rate must be > 0, got {reference_rate!r}"
+        )
+    if len(server_factors) != len(selection_probabilities):
+        raise ConfigurationError(
+            "server_factors and selection_probabilities lengths differ"
+        )
+    if any(w <= 0 for w in domain_class_weights):
+        raise ConfigurationError("domain class weights must be positive")
+    mean_server_factor = sum(
+        factor * prob
+        for factor, prob in zip(server_factors, selection_probabilities)
+    )
+    if mean_server_factor <= 0:
+        raise ConfigurationError("mean server factor must be positive")
+    return sum(domain_class_weights) / (mean_server_factor * reference_rate)
+
+
+def expected_request_rate(
+    scale: float,
+    domain_class_weights: Sequence[float],
+    server_factors: Sequence[float],
+    selection_probabilities: Sequence[float],
+) -> float:
+    """Analytic address-request rate of a calibrated policy (for tests)."""
+    mean_server_factor = sum(
+        factor * prob
+        for factor, prob in zip(server_factors, selection_probabilities)
+    )
+    return sum(domain_class_weights) / (scale * mean_server_factor)

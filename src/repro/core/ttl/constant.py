@@ -1,0 +1,31 @@
+"""Constant TTL — the non-adaptive degenerate policy (TTL/1).
+
+Used by conventional DNS round-robin deployments and, in the paper, by
+RR, RR2, PRR-TTL/1, PRR2-TTL/1, DAL and MRL. Table 1 fixes the value at
+240 seconds.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from .base import TtlPolicy
+
+#: Table 1 — the constant TTL used by non-adaptive policies.
+DEFAULT_CONSTANT_TTL = 240.0
+
+
+class ConstantTtlPolicy(TtlPolicy):
+    """The same TTL for every domain and server."""
+
+    name = "TTL/1"
+
+    def __init__(self, ttl: float = DEFAULT_CONSTANT_TTL):
+        if ttl <= 0:
+            raise ConfigurationError(f"constant TTL must be > 0, got {ttl!r}")
+        self.ttl = float(ttl)
+
+    def ttl_for(self, domain_id: int, server_id: int, now: float) -> float:
+        return self.ttl
+
+    def __repr__(self) -> str:
+        return f"<ConstantTtlPolicy ttl={self.ttl!r}>"

@@ -1,0 +1,78 @@
+"""Alarm-responsive TTL scaling (a future-work extension).
+
+The paper's alarm protocol only gates *server selection*: an alarmed
+server stops receiving new mappings, but mappings already cached keep
+feeding it, and the TTLs being handed out elsewhere are unchanged. A
+natural next step — in the spirit of the paper's "dynamic variations"
+outlook — is to let alarms also shrink the TTLs the DNS hands out:
+while part of the site is critically loaded, every new mapping should be
+easier to revoke.
+
+:class:`AlarmResponsiveTtlPolicy` wraps any base TTL policy and applies
+
+``ttl = base_ttl * reduction ** alarmed_count``
+
+bounded below by ``min_ttl``. With no alarms it is exactly the wrapped
+policy, so calibration and all steady-state results are unchanged; the
+difference shows only around overload episodes.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ..state import SchedulerState
+from .base import TtlPolicy
+
+
+class AlarmResponsiveTtlPolicy(TtlPolicy):
+    """Scale a wrapped policy's TTLs down while servers are alarmed.
+
+    Parameters
+    ----------
+    inner:
+        The TTL policy being wrapped (constant or adaptive).
+    state:
+        Shared scheduler state (source of the alarm count).
+    reduction:
+        Multiplicative factor applied once per currently-alarmed server,
+        in (0, 1].
+    min_ttl:
+        Lower bound on the scaled TTL (avoid zero-TTL floods).
+    """
+
+    name = "ALARM-SCALED"
+
+    def __init__(
+        self,
+        inner: TtlPolicy,
+        state: SchedulerState,
+        reduction: float = 0.5,
+        min_ttl: float = 10.0,
+    ):
+        if not 0.0 < reduction <= 1.0:
+            raise ConfigurationError(
+                f"reduction must be in (0, 1], got {reduction!r}"
+            )
+        if min_ttl <= 0:
+            raise ConfigurationError(f"min_ttl must be > 0, got {min_ttl!r}")
+        self.inner = inner
+        self.state = state
+        self.reduction = float(reduction)
+        self.min_ttl = float(min_ttl)
+        #: TTL grants that were scaled down (diagnostics).
+        self.scaled_grants = 0
+
+    def ttl_for(self, domain_id: int, server_id: int, now: float) -> float:
+        ttl = self.inner.ttl_for(domain_id, server_id, now)
+        alarmed = self.state.alarmed_count
+        if alarmed == 0:
+            return ttl
+        self.scaled_grants += 1
+        scaled = ttl * (self.reduction**alarmed)
+        return scaled if scaled >= self.min_ttl else self.min_ttl
+
+    def __repr__(self) -> str:
+        return (
+            f"<AlarmResponsiveTtlPolicy inner={type(self.inner).__name__} "
+            f"reduction={self.reduction:g}>"
+        )

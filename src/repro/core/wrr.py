@@ -1,0 +1,47 @@
+"""Smooth weighted round-robin — a deterministic capacity-aware baseline.
+
+Not part of the paper, but the natural deterministic alternative to PRR:
+instead of skipping servers probabilistically, interleave them so that
+over any window each server receives a share of mappings proportional to
+its relative capacity, with the smoothest possible spacing (the algorithm
+popularized by nginx's ``smooth weighted round-robin``):
+
+1. add each eligible server's weight to its current credit;
+2. pick the server with the highest credit;
+3. subtract the total eligible weight from the winner's credit.
+
+Included so experiments can separate *how capacity awareness is injected*
+(routing vs TTL) from *whether the rotation is randomized*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Scheduler
+from .state import SchedulerState
+
+
+class SmoothWeightedRoundRobinScheduler(Scheduler):
+    """Deterministic capacity-proportional interleaving (see module doc)."""
+
+    name = "WRR"
+
+    def __init__(self, state: SchedulerState):
+        super().__init__(state)
+        self._credit: List[float] = [0.0] * state.server_count
+
+    def select(self, domain_id: int, now: float) -> int:
+        alphas = self.state.relative_capacities
+        eligible = self.state.eligible_servers()
+        total = 0.0
+        best = eligible[0]
+        best_credit = -float("inf")
+        for server_id in eligible:
+            self._credit[server_id] += alphas[server_id]
+            total += alphas[server_id]
+            if self._credit[server_id] > best_credit:
+                best = server_id
+                best_credit = self._credit[server_id]
+        self._credit[best] -= total
+        return best

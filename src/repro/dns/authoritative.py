@@ -1,0 +1,78 @@
+"""The authoritative DNS of the distributed web site.
+
+This is the paper's "atypical centralized scheduler": the only component
+with global (if partial and stale) knowledge, but one that observes and
+controls only the small fraction of requests that miss every downstream
+cache. It composes two pluggable strategies:
+
+* a *scheduler* choosing which web server to return
+  (:mod:`repro.core` — RR, RR2, PRR, PRR2, DRR, DRR2, DAL, ...), and
+* a *TTL policy* choosing how long the mapping stays valid
+  (:mod:`repro.core.ttl` — constant, TTL/2, TTL/K, TTL/S_*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..sim.stats import RunningStats
+from .records import AddressRecord
+
+
+@dataclass
+class DnsStats:
+    """Counters kept by the authoritative DNS."""
+
+    resolutions: int = 0
+    per_domain: Dict[int, int] = field(default_factory=dict)
+    per_server: Dict[int, int] = field(default_factory=dict)
+    ttl: RunningStats = field(default_factory=RunningStats)
+
+    def record(self, domain_id: int, server_id: int, ttl: float) -> None:
+        self.resolutions += 1
+        self.per_domain[domain_id] = self.per_domain.get(domain_id, 0) + 1
+        self.per_server[server_id] = self.per_server.get(server_id, 0) + 1
+        self.ttl.add(ttl)
+
+
+class AuthoritativeDns:
+    """Authoritative DNS combining a scheduler and a TTL policy.
+
+    Parameters
+    ----------
+    scheduler:
+        Object with ``select(domain_id, now) -> server_id``.
+    ttl_policy:
+        Object with ``ttl_for(domain_id, server_id, now) -> float``.
+    """
+
+    def __init__(self, scheduler, ttl_policy):
+        self.scheduler = scheduler
+        self.ttl_policy = ttl_policy
+        self.stats = DnsStats()
+
+    def resolve(self, domain_id: int, now: float) -> AddressRecord:
+        """Handle one address-mapping request from ``domain_id``."""
+        server_id = self.scheduler.select(domain_id, now)
+        ttl = self.ttl_policy.ttl_for(domain_id, server_id, now)
+        notify = getattr(self.scheduler, "notify_assignment", None)
+        if notify is not None:
+            # Load-accumulating disciplines (DAL, MRL) learn the granted
+            # TTL through this hook.
+            notify(domain_id, server_id, ttl, now)
+        self.stats.record(domain_id, server_id, ttl)
+        return AddressRecord(server_id=server_id, ttl=ttl, issued_at=now)
+
+    def address_request_rate(self, elapsed: float) -> float:
+        """Observed address-mapping requests per second over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.stats.resolutions / elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"<AuthoritativeDns scheduler={type(self.scheduler).__name__} "
+            f"ttl_policy={type(self.ttl_policy).__name__} "
+            f"resolutions={self.stats.resolutions}>"
+        )

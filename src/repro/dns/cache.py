@@ -1,0 +1,91 @@
+"""A generic TTL cache, as used by name servers and clients.
+
+Entries expire by wall-clock (simulation) time rather than by explicit
+invalidation — exactly the DNS caching semantics that make the scheduling
+problem hard: once an entry is cached, every lookup it serves is invisible
+to the authoritative DNS until the TTL runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a :class:`TtlCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    insertions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TtlCache:
+    """Maps keys to values with per-entry absolute expiry times."""
+
+    def __init__(self):
+        self._entries: Dict[Hashable, Tuple[Any, float]] = {}
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, now: float) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` if absent/expired."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        value, expires_at = entry
+        if now >= expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any, ttl: float, now: float) -> None:
+        """Cache ``value`` under ``key`` for ``ttl`` seconds from ``now``.
+
+        A zero TTL is accepted but the entry is immediately stale — this
+        mirrors real resolvers, which may hand the answer to the one
+        in-flight query but never serve it again.
+        """
+        if ttl < 0:
+            raise ConfigurationError(f"TTL must be >= 0, got {ttl!r}")
+        self._entries[key] = (value, now + ttl)
+        self.stats.insertions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` from the cache; returns whether it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def expires_at(self, key: Hashable) -> Optional[float]:
+        """Expiry time of the entry for ``key``, if present."""
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else None
+
+    def purge_expired(self, now: float) -> int:
+        """Remove all expired entries; returns how many were removed."""
+        stale = [k for k, (_, exp) in self._entries.items() if now >= exp]
+        for key in stale:
+            del self._entries[key]
+        self.stats.expirations += len(stale)
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

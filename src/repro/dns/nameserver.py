@@ -1,0 +1,119 @@
+"""Per-domain local name servers.
+
+Every client domain owns a local name server (NS). When a client starts a
+session it asks its NS for the web site's address; the NS answers from its
+TTL cache when possible and otherwise queries the authoritative DNS. The
+NS is where *non-cooperative* behaviour lives: real resolvers distrust very
+small TTLs. Two override modes are supported for a recommendation below
+``min_accepted_ttl``:
+
+``"clamp"`` (default)
+    Cache for ``min_accepted_ttl`` itself — the NS "imposes its own
+    minimum TTL threshold", the worst-case scenario swept in the paper's
+    Figs. 4-5.
+``"default"``
+    Cache for a fixed ``default_ttl`` (240 s), modelling resolvers that
+    fall back to a house default instead of clamping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .cache import TtlCache
+from .records import AddressRecord
+
+#: A callable that performs an authoritative resolution for a domain:
+#: ``(domain_id, now) -> AddressRecord``.
+UpstreamResolver = Callable[[int, float], AddressRecord]
+
+#: Default TTL a non-cooperative NS substitutes for "too small" values.
+DEFAULT_NS_TTL = 240.0
+
+#: Cache key for the (single) replicated web site name.
+SITE_KEY = "www"
+
+
+class LocalNameServer:
+    """The local name server of one client domain.
+
+    Parameters
+    ----------
+    domain_id:
+        Index of the domain this NS serves.
+    upstream:
+        Resolution callback into the authoritative DNS.
+    min_accepted_ttl:
+        TTLs below this threshold are considered "too small" and
+        overridden when caching (0 = fully cooperative NS).
+    default_ttl:
+        The substitute TTL used in ``"default"`` override mode.
+    override_mode:
+        ``"clamp"`` or ``"default"`` (see module docstring).
+    """
+
+    OVERRIDE_MODES = ("clamp", "default")
+
+    def __init__(
+        self,
+        domain_id: int,
+        upstream: UpstreamResolver,
+        min_accepted_ttl: float = 0.0,
+        default_ttl: float = DEFAULT_NS_TTL,
+        override_mode: str = "clamp",
+    ):
+        if min_accepted_ttl < 0:
+            raise ConfigurationError(
+                f"min_accepted_ttl must be >= 0, got {min_accepted_ttl!r}"
+            )
+        if default_ttl <= 0:
+            raise ConfigurationError(f"default_ttl must be > 0, got {default_ttl!r}")
+        if override_mode not in self.OVERRIDE_MODES:
+            raise ConfigurationError(
+                f"override_mode must be one of {self.OVERRIDE_MODES}, "
+                f"got {override_mode!r}"
+            )
+        self.domain_id = domain_id
+        self.upstream = upstream
+        self.min_accepted_ttl = float(min_accepted_ttl)
+        self.default_ttl = float(default_ttl)
+        self.override_mode = override_mode
+        self.cache = TtlCache()
+        #: Number of recommended TTLs this NS overrode.
+        self.overridden_ttls = 0
+
+    def effective_ttl(self, recommended: float) -> float:
+        """The TTL this NS will actually cache for a recommendation."""
+        if recommended >= self.min_accepted_ttl:
+            return recommended
+        if self.override_mode == "clamp":
+            return self.min_accepted_ttl
+        return self.default_ttl
+
+    def resolve(self, now: float) -> Tuple[AddressRecord, bool]:
+        """Resolve the site name at time ``now``.
+
+        Returns
+        -------
+        (record, from_cache):
+            The mapping used and whether it was served from the NS cache
+            (``True``) or freshly obtained from the authoritative DNS
+            (``False``).
+        """
+        cached: Optional[AddressRecord] = self.cache.get(SITE_KEY, now)
+        if cached is not None:
+            return cached, True
+        record = self.upstream(self.domain_id, now)
+        ttl = self.effective_ttl(record.ttl)
+        if ttl != record.ttl:
+            self.overridden_ttls += 1
+            record = record.with_ttl(ttl)
+        self.cache.put(SITE_KEY, record, ttl, now)
+        return record, False
+
+    def __repr__(self) -> str:
+        return (
+            f"<LocalNameServer domain={self.domain_id} "
+            f"min_ttl={self.min_accepted_ttl} overrides={self.overridden_ttls}>"
+        )

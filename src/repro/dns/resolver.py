@@ -1,0 +1,131 @@
+"""The end-to-end resolution chain: client -> local NS -> authoritative DNS.
+
+:class:`ResolutionChain` owns the :class:`LocalNameServer` instances of
+every client domain and routes each client resolution through the right
+NS. It also aggregates the statistic the paper highlights — the fraction
+of requests the DNS directly controls — by distinguishing fresh
+authoritative answers from NS cache hits.
+
+The paper's model says each domain has "a (set of) local name
+server(s)"; ``nameservers_per_domain`` sizes that set. With more than
+one NS per domain, a domain's clients are statically partitioned across
+its name servers (as stub-resolver configurations are in practice), the
+per-domain cache state fragments, and the authoritative DNS sees
+proportionally more address requests — i.e. it regains some control at
+the price of resolution traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from .authoritative import AuthoritativeDns
+from .nameserver import DEFAULT_NS_TTL, LocalNameServer
+from .records import AddressRecord
+
+
+class ResolutionChain:
+    """Routes client resolutions through per-domain name servers.
+
+    Parameters
+    ----------
+    dns:
+        The authoritative :class:`AuthoritativeDns`.
+    domain_count:
+        Number of client domains (one NS each).
+    min_accepted_ttl:
+        Non-cooperative threshold applied by every NS (paper Figs. 4-5
+        model the worst case where *all* NSs share the threshold).
+    default_ttl:
+        TTL substituted by an NS in ``"default"`` override mode.
+    override_mode:
+        ``"clamp"`` (paper) or ``"default"`` — see
+        :class:`~repro.dns.nameserver.LocalNameServer`.
+    nameservers_per_domain:
+        Size of each domain's NS set (paper base model: 1).
+    """
+
+    def __init__(
+        self,
+        dns: AuthoritativeDns,
+        domain_count: int,
+        min_accepted_ttl: float = 0.0,
+        default_ttl: float = DEFAULT_NS_TTL,
+        override_mode: str = "clamp",
+        nameservers_per_domain: int = 1,
+    ):
+        if domain_count < 1:
+            raise ConfigurationError(f"domain_count must be >= 1, got {domain_count!r}")
+        if nameservers_per_domain < 1:
+            raise ConfigurationError(
+                f"nameservers_per_domain must be >= 1, "
+                f"got {nameservers_per_domain!r}"
+            )
+        self.dns = dns
+        self.nameservers_per_domain = nameservers_per_domain
+        self._by_domain: List[List[LocalNameServer]] = [
+            [
+                LocalNameServer(
+                    domain_id=d,
+                    upstream=dns.resolve,
+                    min_accepted_ttl=min_accepted_ttl,
+                    default_ttl=default_ttl,
+                    override_mode=override_mode,
+                )
+                for _ in range(nameservers_per_domain)
+            ]
+            for d in range(domain_count)
+        ]
+        #: Flat view over every NS (first entry per domain when the set
+        #: size is 1 — the paper's base model and the common test case).
+        self.nameservers: List[LocalNameServer] = [
+            ns for group in self._by_domain for ns in group
+        ]
+        #: Resolutions answered from an NS cache.
+        self.cache_answers = 0
+        #: Resolutions answered by the authoritative DNS.
+        self.authoritative_answers = 0
+
+    def nameserver_for(self, domain_id: int, client_id: int = 0) -> LocalNameServer:
+        """The NS a given client of ``domain_id`` is configured to use."""
+        group = self._by_domain[domain_id]
+        return group[client_id % len(group)]
+
+    def resolve(
+        self, domain_id: int, now: float, client_id: int = 0
+    ) -> AddressRecord:
+        """Resolve the site name on behalf of a client in ``domain_id``."""
+        record, from_cache = self.nameserver_for(domain_id, client_id).resolve(
+            now
+        )
+        if from_cache:
+            self.cache_answers += 1
+        else:
+            self.authoritative_answers += 1
+        return record
+
+    @property
+    def dns_control_fraction(self) -> float:
+        """Fraction of resolutions the authoritative DNS answered.
+
+        The paper notes this is often below 4% of the *data* requests;
+        measured over resolutions it is higher, but both views are
+        derivable (data-request control is tracked by the simulation).
+        """
+        total = self.cache_answers + self.authoritative_answers
+        return self.authoritative_answers / total if total else 0.0
+
+    def ttl_override_counts(self) -> Dict[int, int]:
+        """Per-domain counts of NS-overridden TTL recommendations."""
+        counts: Dict[int, int] = {}
+        for ns in self.nameservers:
+            counts[ns.domain_id] = counts.get(ns.domain_id, 0) + ns.overridden_ttls
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResolutionChain domains={len(self._by_domain)} "
+            f"ns_per_domain={self.nameservers_per_domain} "
+            f"cache={self.cache_answers} authoritative={self.authoritative_answers}>"
+        )

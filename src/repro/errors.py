@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """An error raised by the discrete-event simulation engine."""
+
+
+class StopProcess(SimulationError):
+    """Raised inside a process to terminate it early with a return value.
+
+    Prefer a plain ``return`` statement inside process generators; this
+    exception exists for code that must abort from a helper function deep
+    inside a process body.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulation or experiment configuration was supplied."""
+
+
+class PolicyError(ReproError):
+    """A scheduling policy was misconfigured or misused."""
+
+
+class UnknownPolicyError(PolicyError):
+    """A policy name could not be resolved by the policy registry."""
+
+    def __init__(self, name: str, known: list):
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown policy {name!r}; known policies: {', '.join(self.known)}"
+        )
+
+
+class EstimationError(ReproError):
+    """The hidden-load estimator was queried in an invalid state."""

@@ -1,0 +1,272 @@
+"""Simulation configuration — the paper's Table 1 and Table 2 as code.
+
+:class:`SimulationConfig` is an immutable description of one simulation
+run: the policy under test, the system shape (servers, heterogeneity,
+capacity), the workload (domains, clients, session model), the control
+parameters (alarm threshold, utilization interval, TTLs) and the
+robustness knobs (non-cooperative minimum TTL, workload perturbation,
+estimator choice). Defaults reproduce Table 1.
+
+Two Table 1 values are corrupted in the available scan of the paper and
+are therefore explicit, documented choices here (see DESIGN.md):
+``mean_think_time = 15 s`` (the value consistent with the stated 2/3
+average utilization), ``alarm_threshold = 0.9`` and
+``utilization_interval = 32 s``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.distributions import DiscreteUniform, Exponential, Geometric
+from ..web.cluster import (
+    DEFAULT_TOTAL_CAPACITY,
+    HETEROGENEITY_LEVELS,
+    ServerCluster,
+)
+from ..workload.domains import DomainSet
+from ..workload.sessions import SessionModel
+
+#: Table 1 — default simulated duration: five hours of site activity.
+PAPER_DURATION = 5 * 3600.0
+
+ESTIMATOR_KINDS = ("oracle", "measured", "window")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full description of one simulation run (defaults = Table 1)."""
+
+    # -- policy ---------------------------------------------------------
+    #: Policy name (see :func:`repro.core.parse_policy_name`).
+    policy: str = "RR"
+    #: Constant/reference TTL in seconds.
+    constant_ttl: float = 240.0
+
+    # -- web site (Tables 1-2) -------------------------------------------
+    #: Heterogeneity level in percent (one of Table 2's rows); ignored
+    #: when ``relative_capacities`` is given.
+    heterogeneity: int = 20
+    #: Explicit relative capacities, overriding ``heterogeneity``.
+    relative_capacities: Optional[Tuple[float, ...]] = None
+    #: Total site capacity in hits per second.
+    total_capacity: float = DEFAULT_TOTAL_CAPACITY
+
+    # -- workload ---------------------------------------------------------
+    #: Number of connected client domains K.
+    domain_count: int = 20
+    #: Zipf exponent of the client partition (1.0 = pure Zipf).
+    zipf_exponent: float = 1.0
+    #: Force a uniform client distribution (the IDEAL envelope); also
+    #: set automatically when the policy is ``IDEAL``.
+    uniform_domains: bool = False
+    #: Total number of clients.
+    total_clients: int = 500
+    #: Mean think time between page requests (seconds).
+    mean_think_time: float = 15.0
+    #: Mean page requests per session.
+    mean_pages_per_session: float = 20.0
+    #: Hits per page: discrete uniform inclusive bounds.
+    hits_per_page: Tuple[int, int] = (5, 15)
+    #: Workload perturbation e (Figs. 6-7): the busiest domain's share is
+    #: increased by this fraction while estimates stay unperturbed.
+    workload_error: float = 0.0
+    #: Non-stationary workload (extension): rotate the identities of the
+    #: hottest domains every this many seconds (0 = static workload).
+    hot_rotation_interval: float = 0.0
+    #: How many top domains take part in the rotation.
+    hot_rotation_count: int = 5
+    #: Clients cache their own address mapping across sessions while the
+    #: TTL is valid (extension; the paper's base model resolves once per
+    #: session through the domain NS only).
+    client_address_caching: bool = False
+
+    # -- control loop -------------------------------------------------------
+    #: Period of server utilization self-measurement (seconds). The scan
+    #: of the paper prints "8 sec" but the digit preceding the 8 is
+    #: corrupted; 32 s reproduces the paper's Fig. 1 values closely
+    #: (8 s windows are too noisy: the max-of-7 statistic then rarely
+    #: stays below 0.9 even under the Ideal policy).
+    utilization_interval: float = 32.0
+    #: Alarm threshold theta on windowed utilization.
+    alarm_threshold: float = 0.9
+    #: Disable the alarm feedback entirely (ablation).
+    alarm_feedback: bool = True
+
+    # -- name servers --------------------------------------------------------
+    #: Non-cooperative NS threshold: recommended TTLs below this are
+    #: overridden (Figs. 4-5). 0 = cooperative.
+    min_accepted_ttl: float = 0.0
+    #: How an NS overrides a too-small TTL: ``"clamp"`` caches for the
+    #: threshold itself (the paper's "NSs imposing their own minimum TTL
+    #: thresholds"); ``"default"`` caches for ``ns_default_ttl``.
+    ns_override_mode: str = "clamp"
+    #: TTL substituted by a non-cooperative NS in ``"default"`` mode.
+    ns_default_ttl: float = 240.0
+    #: Size of each domain's name-server set (the paper's "a (set of)
+    #: local name server(s)"); clients are partitioned across the set.
+    nameservers_per_domain: int = 1
+
+    # -- estimation ------------------------------------------------------------
+    #: ``"oracle"`` (exact static shares), ``"measured"`` (periodic
+    #: collection from the servers + EWMA) or ``"window"`` (sliding
+    #: window over recent collection intervals).
+    estimator: str = "oracle"
+    #: Collection period of the measured/window estimators (seconds).
+    estimator_interval: float = 32.0
+    #: EWMA smoothing of the measured estimator, in (0, 1].
+    estimator_smoothing: float = 0.5
+    #: Window length of the sliding-window estimator, in intervals.
+    estimator_window_intervals: int = 8
+
+    # -- geography (extension) ---------------------------------------------------
+    #: ``"none"`` (the paper's model), ``"random"`` or ``"clustered"`` —
+    #: attaches a geographic layout; page response metrics then include
+    #: network RTT and the PROXIMITY/GEO-HYBRID policies become valid.
+    geography: str = "none"
+    #: RTT floor in seconds.
+    geo_base_rtt: float = 0.005
+    #: RTT per unit distance on the unit plane, in seconds.
+    geo_rtt_per_unit: float = 0.100
+
+    # -- run control --------------------------------------------------------------
+    #: Simulated duration in seconds.
+    duration: float = PAPER_DURATION
+    #: Samples taken before this time are discarded.
+    warmup: float = 0.0
+    #: Master random seed.
+    seed: int = 1
+    #: Record a trace of sessions/alarms (slower; for analysis).
+    trace: bool = False
+    #: Retain the full per-interval utilization vectors in the result
+    #: (enables the :mod:`repro.analysis` time-series tools).
+    keep_utilization_series: bool = False
+
+    def __post_init__(self):
+        if self.relative_capacities is None:
+            if self.heterogeneity not in HETEROGENEITY_LEVELS:
+                known = ", ".join(str(k) for k in sorted(HETEROGENEITY_LEVELS))
+                raise ConfigurationError(
+                    f"unknown heterogeneity level {self.heterogeneity!r}; "
+                    f"known: {known} (or pass relative_capacities)"
+                )
+        if self.domain_count < 1:
+            raise ConfigurationError("domain_count must be >= 1")
+        if self.total_clients < 1:
+            raise ConfigurationError("total_clients must be >= 1")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be > 0")
+        if not 0 <= self.warmup < self.duration:
+            raise ConfigurationError("warmup must be in [0, duration)")
+        if self.utilization_interval <= 0:
+            raise ConfigurationError("utilization_interval must be > 0")
+        if not 0 < self.alarm_threshold <= 1:
+            raise ConfigurationError("alarm_threshold must be in (0, 1]")
+        if self.constant_ttl <= 0:
+            raise ConfigurationError("constant_ttl must be > 0")
+        if self.min_accepted_ttl < 0:
+            raise ConfigurationError("min_accepted_ttl must be >= 0")
+        if self.ns_override_mode not in ("clamp", "default"):
+            raise ConfigurationError(
+                f"ns_override_mode must be 'clamp' or 'default', "
+                f"got {self.ns_override_mode!r}"
+            )
+        if self.nameservers_per_domain < 1:
+            raise ConfigurationError("nameservers_per_domain must be >= 1")
+        if self.geography not in ("none", "random", "clustered"):
+            raise ConfigurationError(
+                f"geography must be 'none', 'random' or 'clustered', "
+                f"got {self.geography!r}"
+            )
+        if self.geo_base_rtt < 0 or self.geo_rtt_per_unit < 0:
+            raise ConfigurationError("geo RTT parameters must be >= 0")
+        if self.workload_error < 0:
+            raise ConfigurationError("workload_error must be >= 0")
+        if self.estimator not in ESTIMATOR_KINDS:
+            raise ConfigurationError(
+                f"estimator must be one of {ESTIMATOR_KINDS}, got {self.estimator!r}"
+            )
+        if self.estimator_window_intervals < 1:
+            raise ConfigurationError("estimator_window_intervals must be >= 1")
+        if self.hot_rotation_interval < 0:
+            raise ConfigurationError("hot_rotation_interval must be >= 0")
+        if self.hot_rotation_interval > 0:
+            if not 2 <= self.hot_rotation_count <= self.domain_count:
+                raise ConfigurationError(
+                    "hot_rotation_count must be in [2, domain_count] when "
+                    "rotation is enabled"
+                )
+        if self.hits_per_page[0] < 1 or self.hits_per_page[1] < self.hits_per_page[0]:
+            raise ConfigurationError(f"bad hits_per_page {self.hits_per_page!r}")
+
+    # -- factories ---------------------------------------------------------
+
+    def replace(self, **changes) -> "SimulationConfig":
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def build_cluster(self) -> ServerCluster:
+        """The web-server cluster this config describes."""
+        if self.relative_capacities is not None:
+            return ServerCluster(self.relative_capacities, self.total_capacity)
+        return ServerCluster.from_heterogeneity(
+            self.heterogeneity, self.total_capacity
+        )
+
+    def build_domains(self) -> DomainSet:
+        """The *nominal* (unperturbed) domain popularity."""
+        if self.uniform_domains:
+            return DomainSet.uniform(self.domain_count)
+        return DomainSet.pure_zipf(self.domain_count, self.zipf_exponent)
+
+    def build_session_model(self) -> SessionModel:
+        """Session/page/think-time distributions for this config."""
+        return SessionModel(
+            pages_per_session=Geometric(self.mean_pages_per_session),
+            hits_per_page=DiscreteUniform(*self.hits_per_page),
+            think_time=Exponential(self.mean_think_time),
+        )
+
+    @property
+    def offered_utilization(self) -> float:
+        """Expected average system utilization under this config."""
+        return self.build_session_model().offered_load(
+            self.total_clients, self.total_capacity
+        )
+
+    def describe(self) -> List[Tuple[str, str]]:
+        """Human-readable (parameter, value) pairs, Table 1 style."""
+        return [
+            ("Policy", self.policy),
+            ("Connected domains K", str(self.domain_count)),
+            ("Client distribution",
+             "uniform" if self.uniform_domains
+             else f"pure Zipf (exponent {self.zipf_exponent:g})"),
+            ("Total clients", str(self.total_clients)),
+            ("Mean think time", f"{self.mean_think_time:g} s"),
+            ("Mean pages per session", f"{self.mean_pages_per_session:g}"),
+            ("Hits per page",
+             f"uniform {{{self.hits_per_page[0]}..{self.hits_per_page[1]}}}"),
+            ("Servers N",
+             str(len(self.relative_capacities))
+             if self.relative_capacities is not None else "7"),
+            ("Heterogeneity", f"{self.heterogeneity}%"),
+            ("Total capacity", f"{self.total_capacity:g} hits/s"),
+            ("Average utilization", f"{self.offered_utilization:.3f}"),
+            ("Utilization interval", f"{self.utilization_interval:g} s"),
+            ("Alarm threshold theta", f"{self.alarm_threshold:g}"),
+            ("Constant TTL", f"{self.constant_ttl:g} s"),
+            ("Min accepted TTL", f"{self.min_accepted_ttl:g} s"),
+            ("Workload perturbation", f"{self.workload_error:.0%}"),
+            ("Estimator", self.estimator),
+            ("Duration", f"{self.duration:g} s"),
+            ("Seed", str(self.seed)),
+        ]
+
+
+#: The paper's default configuration (Table 1 with the documented choices
+#: for the scan-corrupted entries).
+PAPER_DEFAULTS = SimulationConfig()

@@ -1,0 +1,152 @@
+"""Output metrics: the paper's Max Utilization statistics.
+
+The paper deliberately avoids averaged metrics like the standard
+deviation of utilizations: what kills a web site is *any one* server
+being overloaded. Its headline metric is therefore the cumulative
+frequency of the per-interval **maximum** server utilization — for each
+level ``x``, the fraction of sampling intervals in which *every* server
+stayed below ``x`` — and the scalar ``Prob(MaxUtilization < 0.98)`` used
+on the y-axes of Figs. 3-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..sim.stats import EmpiricalCdf, RunningStats, batch_means_ci
+
+#: The threshold of the paper's scalar indicator.
+OVERLOAD_THRESHOLD = 0.98
+
+
+class MaxUtilizationCollector:
+    """Sample sink for the utilization monitor.
+
+    Retains the per-interval maximum utilization (after ``warmup``) and
+    streams per-server statistics.
+    """
+
+    def __init__(
+        self,
+        server_count: int,
+        warmup: float = 0.0,
+        keep_series: bool = False,
+    ):
+        if warmup < 0:
+            raise SimulationError(f"warmup must be >= 0, got {warmup!r}")
+        self.warmup = float(warmup)
+        self.max_samples: List[float] = []
+        self.per_server: List[RunningStats] = [
+            RunningStats() for _ in range(server_count)
+        ]
+        #: Full per-interval utilization vectors (kept only on request —
+        #: enables the :mod:`repro.analysis` time-series tools).
+        self.series: Optional[List[Tuple[float, List[float]]]] = (
+            [] if keep_series else None
+        )
+
+    def sink(self, now: float, utilizations: Sequence[float]) -> None:
+        """Monitor callback: one utilization vector per interval."""
+        if now <= self.warmup:
+            return
+        self.max_samples.append(max(utilizations))
+        for stats, utilization in zip(self.per_server, utilizations):
+            stats.add(utilization)
+        if self.series is not None:
+            self.series.append((now, list(utilizations)))
+
+    def cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf(self.max_samples)
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    #: Canonical policy name.
+    policy: str
+    #: Per-interval maximum server utilizations (post-warmup).
+    max_utilization_samples: List[float]
+    #: Time-average utilization per server.
+    mean_utilization_per_server: List[float]
+    #: Address-mapping requests answered by the authoritative DNS.
+    dns_resolutions: int
+    #: Authoritative address-request rate (per second).
+    address_request_rate: float
+    #: Fraction of resolutions answered by the DNS (vs NS caches).
+    dns_resolution_fraction: float
+    #: Fraction of *hits* belonging to DNS-routed sessions.
+    dns_control_fraction: float
+    #: Mean TTL granted by the DNS.
+    mean_granted_ttl: float
+    #: Alarm signals sent by servers during the run.
+    alarm_signals: int
+    #: TTL recommendations overridden by non-cooperative name servers.
+    ns_ttl_overrides: int
+    #: Mean fluid page response time (s) over all servers' page bursts.
+    mean_page_response_time: float = 0.0
+    #: Worst single page response time (s) observed anywhere.
+    max_page_response_time: float = 0.0
+    #: Mean per-page network RTT (s); 0 unless geography is enabled.
+    mean_network_rtt: float = 0.0
+    #: Total hits served.
+    total_hits: int = 0
+    #: Total sessions started.
+    total_sessions: int = 0
+    #: Simulated duration (seconds).
+    duration: float = 0.0
+    #: The configuration that produced this result (set by the runner).
+    config: Optional[object] = None
+    #: Optional trace records (when tracing was enabled).
+    trace: Optional[List] = None
+    #: Optional per-interval ``(time, [u_1..u_N])`` vectors (when
+    #: ``keep_utilization_series`` was enabled).
+    utilization_series: Optional[List[Tuple[float, List[float]]]] = None
+
+    # -- the paper's metrics -------------------------------------------------
+
+    def cdf(self) -> EmpiricalCdf:
+        """Cumulative frequency of the maximum server utilization."""
+        return EmpiricalCdf(self.max_utilization_samples)
+
+    def prob_max_below(self, threshold: float = OVERLOAD_THRESHOLD) -> float:
+        """``Prob(MaxUtilization < threshold)`` — Figs. 3-7's y-axis."""
+        return self.cdf().probability_below(threshold)
+
+    def cumulative_frequency(
+        self, grid: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """The Figs. 1-2 curve evaluated on ``grid``."""
+        return self.cdf().evaluate(grid)
+
+    def confidence_interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Batch-means CI of the mean maximum utilization."""
+        return batch_means_ci(self.max_utilization_samples, confidence=confidence)
+
+    @property
+    def mean_max_utilization(self) -> float:
+        samples = self.max_utilization_samples
+        if not samples:
+            raise SimulationError("no samples collected")
+        return sum(samples) / len(samples)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the headline numbers (for reports/CSV)."""
+        return {
+            "policy": self.policy,
+            "prob_max_below_098": self.prob_max_below(OVERLOAD_THRESHOLD),
+            "prob_max_below_090": self.prob_max_below(0.90),
+            "mean_max_utilization": self.mean_max_utilization,
+            "mean_utilization": (
+                sum(self.mean_utilization_per_server)
+                / len(self.mean_utilization_per_server)
+            ),
+            "address_request_rate": self.address_request_rate,
+            "dns_control_fraction": self.dns_control_fraction,
+            "mean_granted_ttl": self.mean_granted_ttl,
+            "mean_page_response_time": self.mean_page_response_time,
+            "alarm_signals": self.alarm_signals,
+            "samples": len(self.max_utilization_samples),
+        }

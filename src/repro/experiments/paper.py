@@ -1,0 +1,229 @@
+"""Qualitative expectations from the paper, as checkable predicates.
+
+Absolute probabilities depend on parameters the available scan corrupted
+(see DESIGN.md), so the reproduction targets the paper's *qualitative*
+claims: which policies win, which are stable, where crossovers occur.
+Each ``check_*`` function takes the corresponding
+:class:`~repro.experiments.figures.FigureResult` and returns a list of
+human-readable violations (empty = all expectations hold). The
+integration tests and the EXPERIMENTS.md generator share these.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .figures import FigureResult
+
+
+def _mean_y(figure: FigureResult, label: str) -> float:
+    series = figure.series_by_label()[label]
+    return sum(series.y) / len(series.y)
+
+
+def _check_order(
+    figure: FigureResult, better: str, worse: str, margin: float = 0.0
+) -> List[str]:
+    """Expect ``better``'s curve to dominate ``worse``'s on average."""
+    gap = _mean_y(figure, better) - _mean_y(figure, worse)
+    if gap < -margin:
+        return [
+            f"{figure.figure_id}: expected {better} >= {worse} "
+            f"(mean curve gap {gap:+.3f})"
+        ]
+    return []
+
+
+def check_fig1(figure: FigureResult) -> List[str]:
+    """Fig. 1 — deterministic policies at 20% heterogeneity."""
+    violations: List[str] = []
+    # Full adaptation (TTL/S_K) close to the ideal envelope and far above RR.
+    violations += _check_order(figure, "IDEAL", "RR")
+    violations += _check_order(figure, "DRR2-TTL/S_K", "RR")
+    violations += _check_order(figure, "DRR2-TTL/S_K", "DRR2-TTL/S_1", margin=0.02)
+    violations += _check_order(figure, "DRR2-TTL/S_2", "DRR2-TTL/S_1", margin=0.02)
+    # RR2-based >= RR-based counterparts (small margin: "not large").
+    for suffix in ("S_K", "S_2"):
+        violations += _check_order(
+            figure, f"DRR2-TTL/{suffix}", f"DRR-TTL/{suffix}", margin=0.05
+        )
+    # Headline numbers: P(max < 0.9) high for TTL/S_K (paper ~0.94), low
+    # for RR (paper ~0.1), with a wide gap between them. Short seeded runs
+    # shift the absolute levels, so the gap carries most of the check.
+    p_sk = figure.y_at("DRR2-TTL/S_K", 0.9)
+    p_rr = figure.y_at("RR", 0.9)
+    if p_sk < 0.55:
+        violations.append(
+            f"fig1: P(max<0.9) for DRR2-TTL/S_K is {p_sk:.2f}, expected high (~0.94)"
+        )
+    if p_rr > 0.45:
+        violations.append(
+            f"fig1: P(max<0.9) for RR is {p_rr:.2f}, expected low (~0.1)"
+        )
+    if p_sk - p_rr < 0.4:
+        violations.append(
+            f"fig1: expected a wide gap between DRR2-TTL/S_K ({p_sk:.2f}) "
+            f"and RR ({p_rr:.2f}) at max utilization 0.9"
+        )
+    return violations
+
+
+def check_fig2(figure: FigureResult) -> List[str]:
+    """Fig. 2 — probabilistic policies at 35% heterogeneity."""
+    violations: List[str] = []
+    violations += _check_order(figure, "IDEAL", "RR")
+    violations += _check_order(figure, "PRR2-TTL/K", "PRR2-TTL/1", margin=0.02)
+    violations += _check_order(figure, "PRR2-TTL/2", "PRR2-TTL/1", margin=0.02)
+    violations += _check_order(figure, "PRR-TTL/2", "PRR-TTL/1", margin=0.02)
+    violations += _check_order(figure, "PRR2-TTL/1", "RR", margin=0.05)
+    for suffix in ("K", "2"):
+        violations += _check_order(
+            figure, f"PRR2-TTL/{suffix}", f"PRR-TTL/{suffix}", margin=0.05
+        )
+    return violations
+
+
+def check_fig3(figure: FigureResult) -> List[str]:
+    """Fig. 3 — heterogeneity sensitivity; adaptive stable, RR poor.
+
+    Note on DAL: the paper places DAL near RR; with oracle hidden-load
+    weights our greedy accumulated-load implementation is stronger than
+    the paper's (under-specified) one, so the reproduction only requires
+    DAL not to *beat* the best adaptive scheme on average (see
+    EXPERIMENTS.md for the discussion).
+    """
+    violations: List[str] = []
+    by_label = figure.series_by_label()
+    # The deterministic per-domain scheme is stable across heterogeneity.
+    # (The probabilistic one also stays near 1 in the paper; our model
+    # reproduces its ordering but with a stronger decline at 65% — see
+    # EXPERIMENTS.md — so it gets a looser floor.)
+    stability_floors = (("DRR2-TTL/S_K", 0.55), ("PRR2-TTL/K", 0.40))
+    for label, floor in stability_floors:
+        series = by_label[label]
+        if min(series.y) < floor:
+            violations.append(
+                f"fig3: {label} should stay high across heterogeneity, "
+                f"min is {min(series.y):.2f}"
+            )
+    # RR is far below every adaptive scheme at every level.
+    rr = by_label["RR"]
+    if max(rr.y) > 0.45:
+        violations.append(
+            f"fig3: RR should be poor at all levels, max is {max(rr.y):.2f}"
+        )
+    violations += _check_order(figure, "DRR2-TTL/S_K", "RR")
+    violations += _check_order(figure, "PRR2-TTL/K", "RR")
+    violations += _check_order(figure, "DRR2-TTL/S_K", "DAL", margin=0.08)
+    # The full per-domain schemes should dominate the two-class schemes at
+    # the highest heterogeneity level.
+    for full, two in (("DRR2-TTL/S_K", "DRR2-TTL/S_2"), ("PRR2-TTL/K", "PRR2-TTL/2")):
+        y_full = by_label[full].y[-1]
+        y_two = by_label[two].y[-1]
+        if y_full < y_two - 0.08:
+            violations.append(
+                f"fig3: at 65% heterogeneity expected {full} ({y_full:.2f}) "
+                f">= {two} ({y_two:.2f})"
+            )
+    return violations
+
+
+def check_fig4(figure: FigureResult) -> List[str]:
+    """Fig. 4 — min-TTL sensitivity at 20% het; DRR2-TTL/S_K best."""
+    violations: List[str] = []
+    by_label = figure.series_by_label()
+    # PRR2-TTL/K only moderately sensitive to the threshold (its load
+    # balancing does not rely on small TTLs for capacity compensation).
+    prr2k = by_label["PRR2-TTL/K"].y
+    if max(prr2k) - min(prr2k) > 0.45:
+        violations.append(
+            f"fig4: PRR2-TTL/K should be fairly insensitive to min TTL "
+            f"(spread {max(prr2k) - min(prr2k):.2f})"
+        )
+    # PRR2-TTL/2 nearly flat while the threshold stays below its hot-class
+    # TTL (paper: "able to always assign TTL higher than 80 seconds").
+    series = by_label["PRR2-TTL/2"]
+    low_region = [y for x, y in zip(series.x, series.y) if x <= 90.0]
+    if max(low_region) - min(low_region) > 0.15:
+        violations.append(
+            f"fig4: PRR2-TTL/2 should be flat for thresholds <= 90 s "
+            f"(spread {max(low_region) - min(low_region):.2f})"
+        )
+    # DRR2-TTL/S_K the best at low thresholds.
+    for label in ("PRR2-TTL/K", "PRR2-TTL/2", "PRR-TTL/K"):
+        if by_label["DRR2-TTL/S_K"].y[0] < by_label[label].y[0] - 0.05:
+            violations.append(
+                f"fig4: at min TTL 0 expected DRR2-TTL/S_K >= {label}"
+            )
+    return violations
+
+
+def check_fig5(figure: FigureResult) -> List[str]:
+    """Fig. 5 — min-TTL sensitivity at 50% het; crossover appears."""
+    violations: List[str] = []
+    by_label = figure.series_by_label()
+    best_low = by_label["DRR2-TTL/S_K"].y[0]
+    for label in ("PRR2-TTL/K", "PRR2-TTL/2"):
+        if best_low < by_label[label].y[0] - 0.05:
+            violations.append(
+                f"fig5: at min TTL 0 expected DRR2-TTL/S_K >= {label}"
+            )
+    # At high thresholds the probabilistic TTL/K scheme should have caught
+    # up with (or passed) the deterministic one.
+    x = by_label["DRR2-TTL/S_K"].x
+    high = x.index(max(x))
+    gap = by_label["PRR2-TTL/K"].y[high] - by_label["DRR2-TTL/S_K"].y[high]
+    if gap < -0.10:
+        violations.append(
+            f"fig5: at the largest min TTL expected PRR2-TTL/K to be "
+            f"competitive with DRR2-TTL/S_K (gap {gap:+.2f})"
+        )
+    return violations
+
+
+def _error_sensitivity_checks(figure: FigureResult) -> List[str]:
+    violations: List[str] = []
+    by_label = figure.series_by_label()
+    # TTL/K and TTL/S_K schemes cluster on top and degrade only slightly.
+    for label in ("DRR2-TTL/S_K", "PRR2-TTL/K"):
+        series = by_label[label]
+        drop = series.y[0] - min(series.y)
+        if drop > 0.30:
+            violations.append(
+                f"{figure.figure_id}: {label} should be robust to estimation "
+                f"error (drop {drop:.2f})"
+            )
+    # K-class schemes beat their 2-class counterparts at the largest error.
+    for full, two in (
+        ("DRR2-TTL/S_K", "DRR2-TTL/S_2"),
+        ("PRR2-TTL/K", "PRR2-TTL/2"),
+    ):
+        y_full = by_label[full].y[-1]
+        y_two = by_label[two].y[-1]
+        if y_full < y_two - 0.05:
+            violations.append(
+                f"{figure.figure_id}: at max error expected {full} "
+                f"({y_full:.2f}) >= {two} ({y_two:.2f})"
+            )
+    return violations
+
+
+def check_fig6(figure: FigureResult) -> List[str]:
+    """Fig. 6 — estimation-error sensitivity at 20% heterogeneity."""
+    return _error_sensitivity_checks(figure)
+
+
+def check_fig7(figure: FigureResult) -> List[str]:
+    """Fig. 7 — estimation-error sensitivity at 50% heterogeneity."""
+    return _error_sensitivity_checks(figure)
+
+
+CHECKS = {
+    "fig1": check_fig1,
+    "fig2": check_fig2,
+    "fig3": check_fig3,
+    "fig4": check_fig4,
+    "fig5": check_fig5,
+    "fig6": check_fig6,
+    "fig7": check_fig7,
+}

@@ -1,0 +1,244 @@
+"""Simulation assembly: wire all substrates for one configured run.
+
+:class:`Simulation` is the composition root. Given a
+:class:`~repro.experiments.config.SimulationConfig` it builds the engine,
+cluster, estimator, scheduler + TTL policy, DNS + name servers, monitor +
+alarms, and client population, runs the clock, and returns a
+:class:`~repro.experiments.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.estimator import (
+    MeasuredEstimator,
+    OracleEstimator,
+    SlidingWindowEstimator,
+)
+from ..core.registry import build_policy, parse_policy_name
+from ..core.state import SchedulerState
+from ..dns.authoritative import AuthoritativeDns
+from ..dns.resolver import ResolutionChain
+from ..sim.engine import Environment
+from ..sim.rng import RandomStreams
+from ..sim.tracing import NullTracer, Tracer
+from ..web.monitor import AlarmProtocol, UtilizationMonitor
+from ..workload.clients import ClientPopulation
+from ..workload.dynamics import RotatingHotDomains
+from .config import SimulationConfig
+from .metrics import MaxUtilizationCollector, SimulationResult
+
+
+class Simulation:
+    """One fully wired simulation (see module docstring).
+
+    All components are exposed as attributes after construction so tests
+    and notebooks can poke at any layer before/after :meth:`run`.
+    """
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.spec = parse_policy_name(config.policy)
+
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        self.tracer = Tracer() if config.trace else NullTracer()
+
+        # -- web site -----------------------------------------------------
+        self.cluster = config.build_cluster()
+
+        # -- domains: nominal (what the DNS believes) vs actual (what the
+        #    clients do). The IDEAL policy forces a uniform actual
+        #    distribution; the error experiments perturb the actual one.
+        nominal = config.build_domains()
+        if self.spec.uniform_workload and not config.uniform_domains:
+            nominal = nominal.__class__.uniform(config.domain_count)
+        actual = nominal
+        if config.workload_error > 0:
+            actual = nominal.perturb_hottest(config.workload_error)
+        self.nominal_domains = nominal
+        self.actual_domains = actual
+
+        # -- estimator ------------------------------------------------------
+        if config.estimator == "oracle":
+            # The oracle reflects the *nominal* shares: under perturbation
+            # the DNS estimates stay stale, exactly as in the paper.
+            self.estimator = OracleEstimator(nominal.shares)
+        elif config.estimator == "measured":
+            self.estimator = MeasuredEstimator(
+                self.env,
+                self.cluster.servers,
+                config.domain_count,
+                interval=config.estimator_interval,
+                smoothing=config.estimator_smoothing,
+                prior=nominal.shares,
+            )
+        else:  # "window"
+            self.estimator = SlidingWindowEstimator(
+                self.env,
+                self.cluster.servers,
+                config.domain_count,
+                interval=config.estimator_interval,
+                window_intervals=config.estimator_window_intervals,
+                prior=nominal.shares,
+            )
+
+        # -- geography (optional extension) -------------------------------------
+        if config.geography != "none":
+            from ..geo.placement import GeographicLayout
+
+            factory = (
+                GeographicLayout.random
+                if config.geography == "random"
+                else GeographicLayout.clustered
+            )
+            self.layout = factory(
+                config.domain_count,
+                self.cluster.server_count,
+                seed=config.seed,
+                base_rtt=config.geo_base_rtt,
+                rtt_per_unit=config.geo_rtt_per_unit,
+            )
+        else:
+            self.layout = None
+
+        # -- scheduler + TTL policy -------------------------------------------
+        self.state = SchedulerState(self.cluster, self.estimator)
+        self.state.layout = self.layout
+        self.scheduler, self.ttl_policy = build_policy(
+            self.spec, self.state, self.streams, config.constant_ttl
+        )
+
+        # -- DNS + name servers -------------------------------------------------
+        self.dns = AuthoritativeDns(self.scheduler, self.ttl_policy)
+        self.resolution_chain = ResolutionChain(
+            self.dns,
+            config.domain_count,
+            min_accepted_ttl=config.min_accepted_ttl,
+            default_ttl=config.ns_default_ttl,
+            override_mode=config.ns_override_mode,
+            nameservers_per_domain=config.nameservers_per_domain,
+        )
+
+        # -- monitoring + alarms -----------------------------------------------
+        self.collector = MaxUtilizationCollector(
+            self.cluster.server_count,
+            warmup=config.warmup,
+            keep_series=config.keep_utilization_series,
+        )
+        if config.alarm_feedback:
+            self.alarm_protocol: Optional[AlarmProtocol] = AlarmProtocol(
+                self.cluster.server_count,
+                threshold=config.alarm_threshold,
+                listener=self._on_alarm,
+            )
+        else:
+            self.alarm_protocol = None
+        self.monitor = UtilizationMonitor(
+            self.env,
+            self.cluster.servers,
+            interval=config.utilization_interval,
+            alarm_protocol=self.alarm_protocol,
+            sample_sink=self.collector.sink,
+        )
+
+        # -- workload -------------------------------------------------------------
+        if config.hot_rotation_interval > 0:
+            dynamics = RotatingHotDomains(
+                config.hot_rotation_interval, config.hot_rotation_count
+            )
+        else:
+            dynamics = None
+        self.population = ClientPopulation(
+            self.env,
+            self.cluster,
+            self.resolution_chain,
+            actual,
+            config.build_session_model(),
+            config.total_clients,
+            self.streams,
+            tracer=self.tracer,
+            dynamics=dynamics,
+            client_address_caching=config.client_address_caching,
+            layout=self.layout,
+        )
+
+    def _on_alarm(self, now: float, server_id: int, alarmed: bool) -> None:
+        """Forward alarm transitions to the scheduler state (and trace)."""
+        self.state.set_alarm(now, server_id, alarmed)
+        if self.tracer.enabled:
+            self.tracer.record(
+                now, "alarm", {"server": server_id, "alarmed": alarmed}
+            )
+
+    def run(self) -> SimulationResult:
+        """Advance the clock to ``config.duration`` and collect results."""
+        config = self.config
+        self.env.run(until=config.duration)
+        now = self.env.now
+        measured = max(now - config.warmup, 1e-12)
+        total_resolutions = (
+            self.resolution_chain.cache_answers
+            + self.resolution_chain.authoritative_answers
+        )
+        ttl_stats = self.dns.stats.ttl
+        page_count = sum(s.response_times.count for s in self.cluster)
+        if page_count:
+            mean_response = (
+                sum(
+                    s.response_times.mean * s.response_times.count
+                    for s in self.cluster
+                    if s.response_times.count
+                )
+                / page_count
+            )
+            max_response = max(
+                s.response_times.maximum
+                for s in self.cluster
+                if s.response_times.count
+            )
+        else:
+            mean_response = 0.0
+            max_response = 0.0
+        return SimulationResult(
+            policy=self.spec.name,
+            max_utilization_samples=list(self.collector.max_samples),
+            mean_utilization_per_server=[
+                stats.mean if stats.count else 0.0
+                for stats in self.collector.per_server
+            ],
+            dns_resolutions=self.dns.stats.resolutions,
+            address_request_rate=self.dns.stats.resolutions / now,
+            dns_resolution_fraction=(
+                self.dns.stats.resolutions / total_resolutions
+                if total_resolutions
+                else 0.0
+            ),
+            dns_control_fraction=self.population.dns_control_fraction,
+            mean_granted_ttl=ttl_stats.mean if ttl_stats.count else 0.0,
+            alarm_signals=(
+                self.alarm_protocol.alarm_signals if self.alarm_protocol else 0
+            ),
+            ns_ttl_overrides=sum(
+                self.resolution_chain.ttl_override_counts().values()
+            ),
+            mean_page_response_time=mean_response,
+            max_page_response_time=max_response,
+            mean_network_rtt=(
+                self.population.network_rtt_stats.mean
+                if self.population.network_rtt_stats.count
+                else 0.0
+            ),
+            total_hits=self.population.total_hits,
+            total_sessions=self.population.total_sessions,
+            duration=measured,
+            config=config,
+            trace=list(self.tracer) if self.tracer.enabled else None,
+            utilization_series=self.collector.series,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Build and run one simulation (the one-call entry point)."""
+    return Simulation(config).run()

@@ -1,0 +1,170 @@
+"""Model validation: does a run behave the way the model promises?
+
+Before trusting any policy comparison, a simulation study should verify
+its own internal consistency. :func:`validate_run` re-runs one
+configuration and checks the invariants the model guarantees:
+
+* measured mean utilization tracks the configured offered load;
+* hits arrived at servers equal hits issued by clients;
+* the address-request rate matches the TTL calibration target;
+* the DNS control fraction is small (the paper's premise);
+* the batch-means confidence interval is tight enough to report.
+
+Each check yields a :class:`ValidationCheck` with the measured and
+expected values; :func:`validate_run` aggregates them into a
+:class:`ValidationReport`. The CLI exposes this as ``repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.stats import relative_ci_width
+from .config import SimulationConfig
+from .simulation import Simulation
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    """Outcome of one consistency check."""
+
+    name: str
+    passed: bool
+    measured: float
+    expected: float
+    tolerance: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        text = (
+            f"[{status}] {self.name}: measured {self.measured:.4g}, "
+            f"expected {self.expected:.4g} ({self.tolerance})"
+        )
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+
+@dataclass
+class ValidationReport:
+    """All checks for one validated run."""
+
+    config: SimulationConfig
+    checks: List[ValidationCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> List[ValidationCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def __str__(self) -> str:
+        lines = [str(check) for check in self.checks]
+        verdict = "all checks passed" if self.passed else (
+            f"{len(self.failures())} check(s) FAILED"
+        )
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+
+def validate_run(
+    config: Optional[SimulationConfig] = None,
+    utilization_tolerance: float = 0.12,
+    rate_tolerance: float = 0.35,
+    ci_limit: float = 0.10,
+) -> ValidationReport:
+    """Run ``config`` (default: Table 1 defaults, 1 h) and check invariants."""
+    if config is None:
+        config = SimulationConfig(duration=3600.0)
+    simulation = Simulation(config)
+    result = simulation.run()
+    report = ValidationReport(config=config)
+
+    # 1. Offered load vs measured mean utilization.
+    offered = config.offered_utilization
+    measured_util = sum(result.mean_utilization_per_server) / len(
+        result.mean_utilization_per_server
+    )
+    report.checks.append(
+        ValidationCheck(
+            name="mean utilization tracks offered load",
+            passed=abs(measured_util - offered) <= utilization_tolerance,
+            measured=measured_util,
+            expected=offered,
+            tolerance=f"abs diff <= {utilization_tolerance:g}",
+        )
+    )
+
+    # 2. Conservation: hits issued == hits received.
+    received = sum(server.total_hits for server in simulation.cluster)
+    report.checks.append(
+        ValidationCheck(
+            name="hit conservation (clients -> servers)",
+            passed=received == result.total_hits,
+            measured=float(received),
+            expected=float(result.total_hits),
+            tolerance="exact",
+        )
+    )
+
+    # 3. TTL calibration: address-request rate near K / TTL_const.
+    reference_rate = config.domain_count / config.constant_ttl
+    rate = result.address_request_rate
+    rate_ok = (
+        abs(rate - reference_rate) <= rate_tolerance * reference_rate
+    )
+    detail = ""
+    if config.min_accepted_ttl > 0 or config.nameservers_per_domain > 1:
+        # NS overrides / split caches intentionally shift the rate.
+        rate_ok = True
+        detail = "skipped: NS overrides or split caches shift the rate"
+    report.checks.append(
+        ValidationCheck(
+            name="address-request rate matches calibration",
+            passed=rate_ok,
+            measured=rate,
+            expected=reference_rate,
+            tolerance=f"rel diff <= {rate_tolerance:.0%}",
+            detail=detail,
+        )
+    )
+
+    # 4. The paper's premise: DNS directly controls only a small share.
+    report.checks.append(
+        ValidationCheck(
+            name="DNS control fraction is small",
+            passed=result.dns_control_fraction < 0.15,
+            measured=result.dns_control_fraction,
+            expected=0.04,
+            tolerance="< 0.15 (paper reports ~4%)",
+        )
+    )
+
+    # 5. Output precision: batch-means CI of the max-utilization series.
+    relative = relative_ci_width(result.max_utilization_samples)
+    report.checks.append(
+        ValidationCheck(
+            name="batch-means CI width",
+            passed=relative is not None and relative <= ci_limit,
+            measured=relative if relative is not None else float("nan"),
+            expected=0.04,
+            tolerance=f"<= {ci_limit:.0%} of the mean "
+            "(paper reports <= 4% at 5 h)",
+        )
+    )
+
+    # 6. Sanity: utilizations within the fluid model's bounds.
+    max_sample = max(result.max_utilization_samples)
+    report.checks.append(
+        ValidationCheck(
+            name="utilization samples within [0, 1]",
+            passed=0.0 <= max_sample <= 1.0 + 1e-9,
+            measured=max_sample,
+            expected=1.0,
+            tolerance="<= 1",
+        )
+    )
+    return report

@@ -1,0 +1,21 @@
+"""Geographic extension: placements, RTT matrices, proximity routing.
+
+Optional — the paper's model abstracts the network away; enable via
+``SimulationConfig(geography="random" | "clustered")`` to attach a
+:class:`GeographicLayout` (page response times then include network RTT)
+and to make the ``PROXIMITY`` / ``GEO-HYBRID`` policies available.
+"""
+
+from .placement import (
+    DEFAULT_BASE_RTT,
+    DEFAULT_RTT_PER_UNIT,
+    GeographicLayout,
+)
+from .scheduler import ProximityScheduler
+
+__all__ = [
+    "DEFAULT_BASE_RTT",
+    "DEFAULT_RTT_PER_UNIT",
+    "GeographicLayout",
+    "ProximityScheduler",
+]

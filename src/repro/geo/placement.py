@@ -1,0 +1,165 @@
+"""Geographic placement of servers and client domains.
+
+The paper's model deliberately abstracts the network away ("the focus of
+our study on the Web site throughput allows us to avoid the details of
+the network architecture"). This optional extension restores the
+*geographic* dimension of the title: servers and client domains get
+positions on a unit plane, and each (domain, server) pair a round-trip
+time
+
+``rtt = base_rtt + distance * rtt_per_unit``
+
+which contributes to page response times and gives proximity-based
+schedulers something to optimize. Load dynamics are unchanged — RTT is
+a latency, not a capacity, effect — so every throughput result of the
+reproduction is unaffected unless a proximity policy is selected.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.rng import derive_seed
+
+Point = Tuple[float, float]
+
+#: Default latency parameters: 5 ms floor plus up to ~140 ms across the
+#: unit square's diagonal — transcontinental-scale numbers.
+DEFAULT_BASE_RTT = 0.005
+DEFAULT_RTT_PER_UNIT = 0.100
+
+
+class GeographicLayout:
+    """Positions of servers and domains plus the derived RTT matrix.
+
+    Parameters
+    ----------
+    server_positions, domain_positions:
+        Points on the unit plane.
+    base_rtt:
+        RTT floor in seconds (termination, last-mile).
+    rtt_per_unit:
+        Seconds of RTT per unit of Euclidean distance.
+    """
+
+    def __init__(
+        self,
+        server_positions: Sequence[Point],
+        domain_positions: Sequence[Point],
+        base_rtt: float = DEFAULT_BASE_RTT,
+        rtt_per_unit: float = DEFAULT_RTT_PER_UNIT,
+    ):
+        if not server_positions:
+            raise ConfigurationError("need at least one server position")
+        if not domain_positions:
+            raise ConfigurationError("need at least one domain position")
+        if base_rtt < 0 or rtt_per_unit < 0:
+            raise ConfigurationError("RTT parameters must be >= 0")
+        self.server_positions: List[Point] = [
+            (float(x), float(y)) for x, y in server_positions
+        ]
+        self.domain_positions: List[Point] = [
+            (float(x), float(y)) for x, y in domain_positions
+        ]
+        self.base_rtt = float(base_rtt)
+        self.rtt_per_unit = float(rtt_per_unit)
+        self._rtt: List[List[float]] = [
+            [
+                self.base_rtt + self.rtt_per_unit * _distance(d, s)
+                for s in self.server_positions
+            ]
+            for d in self.domain_positions
+        ]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        domain_count: int,
+        server_count: int,
+        seed: int = 0,
+        **rtt_kwargs,
+    ) -> "GeographicLayout":
+        """Uniformly random placement of servers and domains."""
+        rng = random.Random(derive_seed(seed, "geo.random"))
+        servers = [(rng.random(), rng.random()) for _ in range(server_count)]
+        domains = [(rng.random(), rng.random()) for _ in range(domain_count)]
+        return cls(servers, domains, **rtt_kwargs)
+
+    @classmethod
+    def clustered(
+        cls,
+        domain_count: int,
+        server_count: int,
+        seed: int = 0,
+        cluster_spread: float = 0.08,
+        **rtt_kwargs,
+    ) -> "GeographicLayout":
+        """Domains clustered around servers (population-center pattern).
+
+        Servers are spread on a ring; each domain is placed near a
+        *random* server with Gaussian spread, so popular domains are not
+        automatically near big servers — the interesting conflict for
+        proximity routing.
+        """
+        rng = random.Random(derive_seed(seed, "geo.clustered"))
+        servers = [
+            (
+                0.5 + 0.4 * math.cos(2 * math.pi * i / server_count),
+                0.5 + 0.4 * math.sin(2 * math.pi * i / server_count),
+            )
+            for i in range(server_count)
+        ]
+        domains = []
+        for _ in range(domain_count):
+            cx, cy = servers[rng.randrange(server_count)]
+            domains.append(
+                (
+                    min(1.0, max(0.0, rng.gauss(cx, cluster_spread))),
+                    min(1.0, max(0.0, rng.gauss(cy, cluster_spread))),
+                )
+            )
+        return cls(servers, domains, **rtt_kwargs)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def server_count(self) -> int:
+        return len(self.server_positions)
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.domain_positions)
+
+    def rtt(self, domain_id: int, server_id: int) -> float:
+        """Round-trip time between a domain and a server, in seconds."""
+        return self._rtt[domain_id][server_id]
+
+    def nearest_server(self, domain_id: int) -> int:
+        """Index of the server with the smallest RTT from ``domain_id``."""
+        row = self._rtt[domain_id]
+        return min(range(len(row)), key=row.__getitem__)
+
+    def servers_by_rtt(self, domain_id: int) -> List[int]:
+        """Server indices sorted by increasing RTT from ``domain_id``."""
+        row = self._rtt[domain_id]
+        return sorted(range(len(row)), key=row.__getitem__)
+
+    def mean_rtt(self, domain_id: int) -> float:
+        """Average RTT from ``domain_id`` across all servers."""
+        row = self._rtt[domain_id]
+        return sum(row) / len(row)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GeographicLayout servers={self.server_count} "
+            f"domains={self.domain_count} base_rtt={self.base_rtt:g}s>"
+        )
+
+
+def _distance(a: Point, b: Point) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])

@@ -1,0 +1,92 @@
+"""Proximity-based DNS scheduling (the classic GeoDNS strategy).
+
+The straightforward geographic policy answers every address request with
+the *nearest* server — minimizing network latency and ignoring load. In
+a skew-heavy workload that is exactly wrong for balance: the servers
+nearest the hottest domains melt while far ones idle. The
+:class:`ProximityScheduler` supports a ``slack`` factor to trade the two
+off: all eligible servers within ``slack x`` the nearest RTT form the
+candidate set, which is then filled capacity-proportionally (smooth
+weighted round-robin credits), recovering some balance while staying
+near-local.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.base import Scheduler
+from ..core.state import SchedulerState
+from ..errors import ConfigurationError
+from .placement import GeographicLayout
+
+
+class ProximityScheduler(Scheduler):
+    """Nearest-server DNS routing with an optional latency slack.
+
+    Parameters
+    ----------
+    state:
+        Shared scheduler state.
+    layout:
+        Geographic placement providing the RTT matrix.
+    slack:
+        Candidate set = eligible servers with
+        ``rtt <= slack * rtt(nearest eligible)``. ``1.0`` = strictly
+        nearest (pure GeoDNS); larger values trade latency for balance.
+    """
+
+    name = "PROXIMITY"
+
+    def __init__(
+        self,
+        state: SchedulerState,
+        layout: GeographicLayout,
+        slack: float = 1.0,
+    ):
+        super().__init__(state)
+        if layout.server_count != state.server_count:
+            raise ConfigurationError(
+                f"layout has {layout.server_count} servers, "
+                f"state has {state.server_count}"
+            )
+        if slack < 1.0:
+            raise ConfigurationError(f"slack must be >= 1.0, got {slack!r}")
+        self.layout = layout
+        self.slack = float(slack)
+        self._credit: List[float] = [0.0] * state.server_count
+
+    def _candidates(self, domain_id: int) -> List[int]:
+        nearest_rtt: Optional[float] = None
+        ordered = self.layout.servers_by_rtt(domain_id)
+        candidates: List[int] = []
+        for server_id in ordered:
+            if not self.state.is_eligible(server_id):
+                continue
+            rtt = self.layout.rtt(domain_id, server_id)
+            if nearest_rtt is None:
+                nearest_rtt = rtt
+            if rtt <= self.slack * nearest_rtt:
+                candidates.append(server_id)
+            else:
+                break  # ordered by RTT: nothing further qualifies
+        return candidates
+
+    def select(self, domain_id: int, now: float) -> int:
+        candidates = self._candidates(domain_id)
+        if len(candidates) == 1:
+            return candidates[0]
+        # Smooth weighted round-robin among the candidate set, so repeat
+        # requests from the same region interleave by capacity.
+        alphas = self.state.relative_capacities
+        total = 0.0
+        best = candidates[0]
+        best_credit = -float("inf")
+        for server_id in candidates:
+            self._credit[server_id] += alphas[server_id]
+            total += alphas[server_id]
+            if self._credit[server_id] > best_credit:
+                best = server_id
+                best_credit = self._credit[server_id]
+        self._credit[best] -= total
+        return best

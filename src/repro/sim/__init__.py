@@ -1,0 +1,93 @@
+"""Discrete-event simulation substrate (the CSIM replacement).
+
+The paper's simulators were written on top of the proprietary CSIM
+package; this subpackage provides an equivalent process-oriented engine:
+
+* :class:`Environment` — clock, event queue, ``run(until)``.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
+  waitable occurrences.
+* :class:`Process`, :class:`Interrupt` — generator-based concurrency.
+* :class:`Resource`, :class:`Store` — queued shared resources.
+* :class:`RandomStreams` and the distribution classes — reproducible
+  workload randomness.
+* :class:`RunningStats`, :class:`TimeWeightedStats`,
+  :class:`EmpiricalCdf`, :func:`batch_means_ci` — output analysis.
+"""
+
+from .distributions import (
+    Constant,
+    DiscreteUniform,
+    Distribution,
+    Empirical,
+    Exponential,
+    Geometric,
+    Uniform,
+    Zipf,
+    zipf_weights,
+)
+from .containers import (
+    Container,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+)
+from .engine import EmptySchedule, Environment
+from .events import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from .process import Interrupt, Process
+from .resources import Resource, Store
+from .rng import RandomStreams, derive_seed
+from .stats import (
+    EmpiricalCdf,
+    RunningStats,
+    TimeWeightedStats,
+    batch_means_ci,
+    relative_ci_width,
+)
+from .tracing import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Constant",
+    "Container",
+    "DiscreteUniform",
+    "Distribution",
+    "Empirical",
+    "EmpiricalCdf",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Exponential",
+    "Geometric",
+    "Interrupt",
+    "NullTracer",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Preempted",
+    "PreemptiveResource",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "RunningStats",
+    "Store",
+    "Timeout",
+    "TimeWeightedStats",
+    "TraceRecord",
+    "Tracer",
+    "Uniform",
+    "Zipf",
+    "batch_means_ci",
+    "derive_seed",
+    "relative_ci_width",
+    "zipf_weights",
+]

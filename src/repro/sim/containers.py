@@ -1,0 +1,282 @@
+"""Level-based and priority-aware resource primitives.
+
+Extends the queued primitives of :mod:`repro.sim.resources`:
+
+:class:`Container`
+    A continuous reservoir (fuel, tokens, budget): ``put(amount)`` and
+    ``get(amount)`` block until the level permits. Useful for token-
+    bucket style rate limiting in user models built on this engine.
+:class:`PriorityResource`
+    A counted resource whose queue is ordered by ``(priority, FIFO)``;
+    lower priority values are served first.
+:class:`PreemptiveResource`
+    A priority resource where sufficiently urgent requests evict the
+    weakest current holder (the victim learns through a ``preempted``
+    event failing with :class:`Preempted`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Deque, List, Optional, Tuple
+
+from collections import deque
+
+from ..errors import SimulationError
+from .events import Event
+
+
+class ContainerPut(Event):
+    """Pending deposit of ``amount`` into a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise SimulationError(f"amount must be > 0, got {amount!r}")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        container._putters.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    """Pending withdrawal of ``amount`` from a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise SimulationError(f"amount must be > 0, got {amount!r}")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        container._getters.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A continuous reservoir with blocking put/get (see module doc)."""
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {capacity!r}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(
+                f"init must be in [0, capacity], got {init!r}"
+            )
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._putters: Deque[ContainerPut] = deque()
+        self._getters: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount``; triggers once it fits under ``capacity``."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount``; triggers once the level suffices."""
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if (
+                self._putters
+                and self._level + self._putters[0].amount <= self.capacity
+            ):
+                put = self._putters.popleft()
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._getters and self._getters[0].amount <= self._level:
+                get = self._getters.popleft()
+                self._level -= get.amount
+                get.succeed(get.amount)
+                progressed = True
+
+    def __repr__(self) -> str:
+        return f"<Container level={self._level:.4g}/{self.capacity:.4g}>"
+
+
+class PriorityRequest(Event):
+    """Pending acquisition of a :class:`PriorityResource` slot."""
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "PriorityResource", priority: int):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._push(self)
+        resource._dispatch()
+
+    def __enter__(self) -> "PriorityRequest":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self.triggered:
+            self.resource.release(self)
+
+
+class PriorityResource:
+    """A counted resource served in ``(priority, FIFO)`` order."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._sequence = 0
+        self._queue: List[Tuple[int, int, PriorityRequest]] = []
+
+    @property
+    def count(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> PriorityRequest:
+        """Ask for a slot; lower ``priority`` values are granted first."""
+        return PriorityRequest(self, priority)
+
+    def release(self, request: PriorityRequest) -> None:
+        """Return the slot held by ``request``."""
+        if request.resource is not self:
+            raise SimulationError("request was issued against a different resource")
+        if not request.triggered:
+            raise SimulationError("cannot release an ungranted request")
+        self._in_use -= 1
+        self._dispatch()
+
+    def _push(self, request: PriorityRequest) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (request.priority, self._sequence, request))
+
+    def _dispatch(self) -> None:
+        while self._queue and self._in_use < self.capacity:
+            _, _, request = heapq.heappop(self._queue)
+            self._in_use += 1
+            request.succeed(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PriorityResource capacity={self.capacity} "
+            f"in_use={self._in_use} queued={len(self._queue)}>"
+        )
+
+
+class PreemptiveRequest(PriorityRequest):
+    """Pending acquisition of a :class:`PreemptiveResource` slot."""
+
+    __slots__ = ()
+
+
+class Preempted(Exception):
+    """Raised (via event failure) in a process whose slot was preempted.
+
+    ``by`` is the preempting request; ``usage_since`` the time the victim
+    acquired the slot.
+    """
+
+    def __init__(self, by, usage_since: float):
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class PreemptiveResource:
+    """A priority resource where urgent requests evict weaker holders.
+
+    A request with a strictly lower priority value than the
+    weakest current holder preempts it: the holder's original request
+    event is *failed* with :class:`Preempted` (delivered to any process
+    waiting on an event derived from it via the ``preempted`` event
+    returned by :meth:`request`), the slot transfers, and the victim
+    must re-request if it still needs the resource.
+    """
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self._sequence = 0
+        #: (priority, sequence, request, acquired_at, preempted_event)
+        self._holders: List[list] = []
+        self._queue: List[Tuple[int, int, "PreemptiveRequest"]] = []
+        self.preemptions = 0
+
+    @property
+    def count(self) -> int:
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0):
+        """Ask for a slot; returns ``(request_event, preempted_event)``.
+
+        ``request_event`` triggers when the slot is granted;
+        ``preempted_event`` fails with :class:`Preempted` if the slot is
+        later taken away. Processes typically wait on the request, then
+        on ``env.any_of([work_timeout, preempted_event])``.
+        """
+        request = PreemptiveRequest.__new__(PreemptiveRequest)
+        Event.__init__(request, self.env)
+        request.resource = self
+        request.priority = priority
+        preempted_event = Event(self.env)
+        self._sequence += 1
+        if len(self._holders) < self.capacity:
+            self._holders.append(
+                [priority, self._sequence, request, self.env.now,
+                 preempted_event]
+            )
+            request.succeed(self)
+        else:
+            weakest = max(self._holders, key=lambda h: (h[0], h[1]))
+            if priority < weakest[0]:
+                self._holders.remove(weakest)
+                self.preemptions += 1
+                weakest[4].fail(Preempted(by=request, usage_since=weakest[3]))
+                self._holders.append(
+                    [priority, self._sequence, request, self.env.now,
+                     preempted_event]
+                )
+                request.succeed(self)
+            else:
+                heapq.heappush(self._queue, (priority, self._sequence, request))
+        return request, preempted_event
+
+    def release(self, request) -> None:
+        """Return the slot held by ``request`` (no-op if preempted away)."""
+        for holder in self._holders:
+            if holder[2] is request:
+                self._holders.remove(holder)
+                break
+        else:
+            return  # preempted earlier: nothing to release
+        if self._queue:
+            priority, sequence, queued = heapq.heappop(self._queue)
+            self._holders.append(
+                [priority, sequence, queued, self.env.now, Event(self.env)]
+            )
+            queued.succeed(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreemptiveResource capacity={self.capacity} "
+            f"in_use={len(self._holders)} queued={len(self._queue)} "
+            f"preemptions={self.preemptions}>"
+        )

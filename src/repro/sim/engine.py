@@ -1,0 +1,134 @@
+"""The discrete-event simulation engine.
+
+:class:`Environment` owns the simulation clock and the event queue and is
+the factory for all simulation primitives (events, timeouts, processes).
+It replaces the proprietary CSIM package the paper used: the model code
+only relies on process-oriented semantics (spawn a process, sleep for a
+simulated delay, wait for an event), which this engine provides.
+
+Determinism
+-----------
+Events scheduled for the same simulation time are processed in
+(priority, insertion order), so two runs of the same seeded model produce
+identical trajectories — a property the test suite verifies and the
+experiment harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .events import PRIORITY_NORMAL, AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock and queue -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Enqueue ``event`` to be processed after ``delay`` time units."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events left") from None
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is then set
+            exactly to ``until``). ``None`` runs until the event queue
+            drains.
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return
+        target = float(until)
+        if target < self._now:
+            raise SimulationError(
+                f"cannot run until {target!r}: already at {self._now!r}"
+            )
+        while self._queue and self._queue[0][0] <= target:
+            self.step()
+        self._now = target
+
+    # -- factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that triggers after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Spawn ``generator`` as a simulation :class:`Process`."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now!r} queued={len(self._queue)}>"

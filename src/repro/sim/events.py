@@ -1,0 +1,210 @@
+"""Core event primitives for the discrete-event simulation engine.
+
+The engine follows the classic process-interaction style popularized by
+CSIM and simpy: an :class:`Event` is a one-shot occurrence that carries a
+value (or an exception) and a list of callbacks; a :class:`Timeout` is an
+event scheduled to trigger after a simulated delay; condition events
+(:class:`AnyOf`, :class:`AllOf`) compose other events.
+
+Events move through three states:
+
+``pending``
+    Created but not yet scheduled to occur.
+``triggered``
+    Scheduled on the event queue with a definite value; it will be
+    processed when the simulation clock reaches its time.
+``processed``
+    Its callbacks have run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+#: Scheduling priorities. Lower values are processed first among events
+#: scheduled for the same simulation time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes may wait for.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.sim.engine.Environment` the event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with this event once it is processed. ``None``
+        #: after processing (appending then raises, catching late adds).
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled with a value."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the event's callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded, ``False`` if it failed.
+
+        Raises :class:`SimulationError` when the event is still pending.
+        """
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception), once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes will see the exception re-raised at their
+        ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated ``delay``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class ConditionEvent(Event):
+    """Base class for events composed of several sub-events."""
+
+    __slots__ = ("events", "_outstanding")
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._outstanding = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed or (event.triggered and event.callbacks is None):
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        """Values of all triggered sub-events, keyed by event."""
+        return {
+            event: event._value
+            for event in self.events
+            if event.triggered and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* sub-events have triggered successfully."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(ConditionEvent):
+    """Triggers as soon as *any* sub-event triggers successfully."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())

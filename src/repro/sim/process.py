@@ -1,0 +1,134 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator. The generator models a
+concurrent activity by ``yield``-ing events; the process suspends until
+the yielded event is processed and is then resumed with the event's value
+(or, for failed events, with the failure exception raised at the
+``yield``). A process is itself an :class:`~repro.sim.events.Event` that
+triggers when its generator returns, so processes can wait for each other.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..errors import SimulationError, StopProcess
+from .events import PRIORITY_URGENT, Event, _PENDING
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self):
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class _Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running simulation process (see module docstring)."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env, generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not exited."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is waiting for (``None`` if running)."""
+        return self._target
+
+    def interrupt(self, cause=None) -> None:
+        """Interrupt the process, raising :class:`Interrupt` inside it.
+
+        The process stops waiting for its current target event and is
+        resumed immediately (at the current simulation time). Interrupting
+        a dead process is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        # Jump the queue so the interrupt lands before same-time events.
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=PRIORITY_URGENT)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the triggered ``event``."""
+        env = self.env
+        env._active_process = self
+        # Detach from the old target: if we were interrupted while waiting,
+        # the stale target must no longer resume us when it fires.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(getattr(stop, "value", None))
+                return
+            except StopProcess as stop:
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                env._active_process = None
+                self.fail(error)
+                return
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                error = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._generator.close()
+                self.fail(error)
+                return
+            if next_event.callbacks is not None:
+                # Still pending or queued: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                env._active_process = None
+                return
+            # Already processed: feed its value straight back in.
+            event = next_event
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process {name} at {id(self):#x}>"

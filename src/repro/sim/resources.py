@@ -1,0 +1,159 @@
+"""Shared-resource primitives built on the event engine.
+
+The paper's model itself needs no queued resources (servers are modelled
+as fluid accumulators), but a general DES substrate without resources
+would be crippled for downstream users, and the example applications and
+tests use them. Two primitives are provided:
+
+:class:`Resource`
+    A counted resource with FIFO queueing, in the style of
+    ``simpy.Resource`` — ``request()`` yields an event that triggers when
+    a slot is granted, ``release()`` frees it.
+:class:`Store`
+    An unbounded-or-bounded FIFO buffer of Python objects with blocking
+    ``get``/``put``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+
+class Request(Event):
+    """Pending acquisition of one :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a granted request; release instead")
+        self.resource._queue.remove(self)
+
+    # Context-manager support: ``with resource.request() as req: yield req``
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO queue."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request`` to the pool."""
+        if request.resource is not self:
+            raise SimulationError("request was issued against a different resource")
+        if not request.triggered:
+            raise SimulationError("cannot release an ungranted request")
+        self._in_use -= 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and self._in_use < self.capacity:
+            request = self._queue.popleft()
+            self._in_use += 1
+            request.succeed(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource capacity={self.capacity} in_use={self._in_use} "
+            f"queued={len(self._queue)}>"
+        )
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a :class:`Store`."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._putters.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Pending removal of the oldest item from a :class:`Store`."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._getters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """A FIFO object buffer with optional bounded capacity."""
+
+    def __init__(self, env, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity if capacity is not None else float("inf")
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event triggers once there is room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event triggers with that item."""
+        return StoreGet(self)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True
+
+    def __repr__(self) -> str:
+        return f"<Store items={len(self.items)} capacity={self.capacity}>"

@@ -1,0 +1,71 @@
+"""Lightweight event tracing for simulations.
+
+A :class:`Tracer` collects ``(time, category, payload)`` records. Model
+components call :meth:`Tracer.record` at interesting moments (DNS
+resolutions, alarms, cache refreshes); analysis code filters by category
+afterwards. Tracing is off by default — a :class:`NullTracer` swallows
+records with near-zero overhead — so the hot path stays fast for the
+full-length paper runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    payload: Any = None
+
+
+class NullTracer:
+    """A tracer that drops every record (the default)."""
+
+    enabled = False
+
+    def record(self, time: float, category: str, payload: Any = None) -> None:
+        """Discard the record."""
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+class Tracer(NullTracer):
+    """A tracer that retains records, optionally filtered by category."""
+
+    enabled = True
+
+    def __init__(self, categories=None):
+        #: Categories to keep; ``None`` keeps everything.
+        self.categories = set(categories) if categories is not None else None
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str, payload: Any = None) -> None:
+        """Retain the record (if its category is selected)."""
+        if self.categories is None or category in self.categories:
+            self.records.append(TraceRecord(time, category, payload))
+
+    def by_category(self) -> Dict[str, List[TraceRecord]]:
+        """Records grouped by category."""
+        grouped: Dict[str, List[TraceRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.category, []).append(record)
+        return grouped
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        """All records with the given ``category``, in time order."""
+        return [record for record in self.records if record.category == category]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,23 @@
+"""Web-server substrate: fluid servers, clusters, monitoring, alarms."""
+
+from .cluster import (
+    DEFAULT_TOTAL_CAPACITY,
+    HETEROGENEITY_LEVELS,
+    ServerCluster,
+)
+from .monitor import AlarmProtocol, UtilizationMonitor
+from .queueing import QueueingWebServer
+from .requests import PageRequest, SessionRecord
+from .server import WebServer
+
+__all__ = [
+    "AlarmProtocol",
+    "DEFAULT_TOTAL_CAPACITY",
+    "HETEROGENEITY_LEVELS",
+    "PageRequest",
+    "QueueingWebServer",
+    "ServerCluster",
+    "SessionRecord",
+    "UtilizationMonitor",
+    "WebServer",
+]

@@ -1,0 +1,143 @@
+"""Server clusters and the paper's heterogeneity presets (Table 2).
+
+A cluster is a set of web servers numbered in *decreasing* processing
+capacity (``S_1`` the most powerful), characterized by relative capacities
+``alpha_i = C_i / C_1`` and the *processor power ratio*
+``rho = C_1 / C_N`` (from Menasce et al. [7]), which the deterministic
+TTL/S policies use. Table 2 of the paper fixes four heterogeneity levels
+for a 7-server site; total capacity is held at 500 hits/s across levels so
+results are comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from .server import WebServer
+
+#: Table 2 — relative server capacities per heterogeneity level
+#: (maximum difference among relative capacities, in percent).
+HETEROGENEITY_LEVELS: Dict[int, List[float]] = {
+    0: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+    20: [1.0, 1.0, 1.0, 0.8, 0.8, 0.8, 0.8],
+    35: [1.0, 1.0, 0.8, 0.8, 0.65, 0.65, 0.65],
+    50: [1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5],
+    65: [1.0, 1.0, 0.8, 0.8, 0.35, 0.35, 0.35],
+}
+
+#: Table 1 — total site capacity in hits per second.
+DEFAULT_TOTAL_CAPACITY = 500.0
+
+
+class ServerCluster:
+    """A heterogeneous multi-server web site.
+
+    Parameters
+    ----------
+    relative_capacities:
+        ``alpha_i`` values in non-increasing order with ``alpha_1 = 1``.
+    total_capacity:
+        Sum of absolute capacities in hits/s (the paper keeps this at 500
+        across heterogeneity levels for fair comparison).
+    """
+
+    def __init__(
+        self,
+        relative_capacities: Sequence[float],
+        total_capacity: float = DEFAULT_TOTAL_CAPACITY,
+    ):
+        alphas = [float(a) for a in relative_capacities]
+        if not alphas:
+            raise ConfigurationError("a cluster needs at least one server")
+        if abs(alphas[0] - 1.0) > 1e-12:
+            raise ConfigurationError(
+                f"alpha_1 must be 1 (most powerful server first), got {alphas[0]!r}"
+            )
+        if any(a <= 0 for a in alphas):
+            raise ConfigurationError("relative capacities must be positive")
+        if any(alphas[i] < alphas[i + 1] for i in range(len(alphas) - 1)):
+            raise ConfigurationError(
+                "servers must be numbered in non-increasing capacity order"
+            )
+        if total_capacity <= 0:
+            raise ConfigurationError(
+                f"total capacity must be > 0, got {total_capacity!r}"
+            )
+        self.relative_capacities = alphas
+        self.total_capacity = float(total_capacity)
+        scale = self.total_capacity / sum(alphas)
+        self.servers: List[WebServer] = [
+            WebServer(server_id=i, capacity=alpha * scale)
+            for i, alpha in enumerate(alphas)
+        ]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_heterogeneity(
+        cls,
+        level: int,
+        total_capacity: float = DEFAULT_TOTAL_CAPACITY,
+    ) -> "ServerCluster":
+        """Build the Table 2 cluster for a heterogeneity ``level`` (%)."""
+        try:
+            alphas = HETEROGENEITY_LEVELS[level]
+        except KeyError:
+            known = ", ".join(str(k) for k in sorted(HETEROGENEITY_LEVELS))
+            raise ConfigurationError(
+                f"unknown heterogeneity level {level!r}; known levels: {known}"
+            ) from None
+        return cls(alphas, total_capacity)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        server_count: int,
+        total_capacity: float = DEFAULT_TOTAL_CAPACITY,
+    ) -> "ServerCluster":
+        """Build a homogeneous cluster of ``server_count`` servers."""
+        if server_count < 1:
+            raise ConfigurationError(
+                f"server_count must be >= 1, got {server_count!r}"
+            )
+        return cls([1.0] * server_count, total_capacity)
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def server_count(self) -> int:
+        return len(self.servers)
+
+    @property
+    def capacities(self) -> List[float]:
+        """Absolute capacities ``C_i`` in hits per second."""
+        return [server.capacity for server in self.servers]
+
+    @property
+    def power_ratio(self) -> float:
+        """``rho = C_1 / C_N``, the degree of heterogeneity (>= 1)."""
+        return self.relative_capacities[0] / self.relative_capacities[-1]
+
+    @property
+    def heterogeneity_percent(self) -> float:
+        """Maximum difference among relative capacities, in percent."""
+        return 100.0 * (
+            self.relative_capacities[0] - self.relative_capacities[-1]
+        )
+
+    def __iter__(self):
+        return iter(self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __getitem__(self, index: int) -> WebServer:
+        return self.servers[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServerCluster n={self.server_count} "
+            f"heterogeneity={self.heterogeneity_percent:.0f}% "
+            f"total={self.total_capacity:.4g} hits/s>"
+        )

@@ -1,0 +1,116 @@
+"""Utilization monitoring and the asynchronous alarm feedback protocol.
+
+Paper, Section 2: "Each server periodically calculates its utilization
+and checks whether it has exceeded a given alarm threshold theta. When
+this occurs, the server sends an alarm signal to the DNS, while a normal
+signal is sent when its utilization level returns below the threshold."
+
+:class:`UtilizationMonitor` is the simulation process doing exactly that:
+every ``interval`` seconds it closes each server's measurement window,
+feeds the per-server utilizations to an :class:`AlarmProtocol` (which
+pushes alarm/normal transitions into the scheduler state), and hands the
+*maximum* utilization — the paper's performance metric — to a sample sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .server import WebServer
+
+#: Called with (now, server_id, alarmed) on each alarm state transition.
+AlarmListener = Callable[[float, int, bool], None]
+
+
+class AlarmProtocol:
+    """Tracks per-server alarm state against a utilization threshold."""
+
+    def __init__(
+        self,
+        server_count: int,
+        threshold: float,
+        listener: Optional[AlarmListener] = None,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"alarm threshold must be in (0, 1], got {threshold!r}"
+            )
+        self.threshold = float(threshold)
+        self.listener = listener
+        self._alarmed = [False] * server_count
+        #: Total alarm signals sent (transitions into the alarmed state).
+        self.alarm_signals = 0
+        #: Total normal signals sent (transitions out of the alarmed state).
+        self.normal_signals = 0
+
+    @property
+    def alarmed_servers(self) -> List[int]:
+        """Indices of servers currently above the threshold."""
+        return [i for i, alarmed in enumerate(self._alarmed) if alarmed]
+
+    def is_alarmed(self, server_id: int) -> bool:
+        return self._alarmed[server_id]
+
+    def observe(self, now: float, server_id: int, utilization: float) -> None:
+        """Process one periodic utilization report from a server."""
+        alarmed = utilization > self.threshold
+        if alarmed == self._alarmed[server_id]:
+            return
+        self._alarmed[server_id] = alarmed
+        if alarmed:
+            self.alarm_signals += 1
+        else:
+            self.normal_signals += 1
+        if self.listener is not None:
+            self.listener(now, server_id, alarmed)
+
+
+class UtilizationMonitor:
+    """Periodic sampling process over a set of servers.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment; the monitor spawns its own process.
+    servers:
+        The cluster's servers.
+    interval:
+        Sampling period in seconds (Table 1: 8 s).
+    alarm_protocol:
+        Receiver of per-server utilization reports (may be ``None`` for
+        pure measurement runs).
+    sample_sink:
+        Called with ``(now, utilizations)`` after every interval; the
+        experiment layer uses it to collect max-utilization samples.
+    """
+
+    def __init__(
+        self,
+        env,
+        servers: Sequence[WebServer],
+        interval: float,
+        alarm_protocol: Optional[AlarmProtocol] = None,
+        sample_sink: Optional[Callable[[float, List[float]], None]] = None,
+    ):
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be > 0, got {interval!r}")
+        self.env = env
+        self.servers = list(servers)
+        self.interval = float(interval)
+        self.alarm_protocol = alarm_protocol
+        self.sample_sink = sample_sink
+        self.samples_taken = 0
+        self.process = env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            now = self.env.now
+            utilizations = [server.end_window(now) for server in self.servers]
+            self.samples_taken += 1
+            if self.alarm_protocol is not None:
+                for server_id, utilization in enumerate(utilizations):
+                    self.alarm_protocol.observe(now, server_id, utilization)
+            if self.sample_sink is not None:
+                self.sample_sink(now, utilizations)

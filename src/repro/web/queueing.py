@@ -1,0 +1,79 @@
+"""An event-driven FIFO server — cross-validation of the fluid model.
+
+:class:`~repro.web.server.WebServer` computes busy time analytically
+(fluid backlog drained at unit rate). This module implements the same
+single-server FIFO discipline the *expensive* way — a worker process
+pulling page bursts from a queue and sleeping through each service time
+— so the two implementations can be checked against each other on
+identical arrival sequences (``tests/integration/test_model_cross_validation.py``).
+For a work-conserving FIFO server both formulations are mathematically
+identical; agreement here validates both the fluid arithmetic and the
+engine's process semantics. The event-driven server is ~an order of
+magnitude slower and is not used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim.resources import Store
+
+
+class QueueingWebServer:
+    """Process-based FIFO web server (see module docstring).
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (a worker process is spawned).
+    server_id, capacity:
+        As for :class:`~repro.web.server.WebServer`.
+    """
+
+    def __init__(self, env, server_id: int, capacity: float):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity!r}")
+        self.env = env
+        self.server_id = server_id
+        self.capacity = float(capacity)
+        self._jobs = Store(env)
+        self.total_hits = 0
+        self.total_pages = 0
+        self.completed_pages = 0
+        #: Accumulated busy seconds since t=0.
+        self.busy_time = 0.0
+        #: Sum of page sojourn times (wait + service).
+        self.total_sojourn = 0.0
+        self.process = env.process(self._worker())
+
+    def offer(self, now: float, hits: int, domain_id: int) -> None:
+        """Accept a page burst (mirrors the fluid server's signature).
+
+        ``now`` must equal ``env.now`` — the argument exists only for
+        interface parity with :class:`~repro.web.server.WebServer`.
+        """
+        if hits <= 0:
+            raise ConfigurationError(f"a page burst needs >= 1 hit, got {hits!r}")
+        self.total_hits += hits
+        self.total_pages += 1
+        self._jobs.put((self.env.now, hits))
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (not counting the one in service)."""
+        return len(self._jobs.items)
+
+    def utilization(self, now: float) -> float:
+        """Busy fraction of ``[0, now]`` (single all-time window)."""
+        if now <= 0:
+            return 0.0
+        return self.busy_time / now
+
+    def _worker(self):
+        env = self.env
+        while True:
+            arrived_at, hits = yield self._jobs.get()
+            service = hits / self.capacity
+            yield env.timeout(service)
+            self.busy_time += service
+            self.completed_pages += 1
+            self.total_sojourn += env.now - arrived_at

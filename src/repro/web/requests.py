@@ -1,0 +1,59 @@
+"""Value objects describing client traffic units.
+
+The simulation's hot path passes plain integers for speed; these
+dataclasses are the documented, user-facing representation used by traces,
+tests, and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PageRequest:
+    """One page request: a burst of hits for an HTML page and its objects.
+
+    Attributes
+    ----------
+    domain_id:
+        Source client domain.
+    client_id:
+        Issuing client (unique across the population).
+    server_id:
+        Web server the page was routed to by the cached mapping.
+    hits:
+        Number of hits in the burst (paper: uniform on {5..15}).
+    issued_at:
+        Simulation time of the burst.
+    """
+
+    domain_id: int
+    client_id: int
+    server_id: int
+    hits: int
+    issued_at: float
+
+    def __post_init__(self):
+        if self.hits < 1:
+            raise ConfigurationError(f"a page has >= 1 hit, got {self.hits!r}")
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """Summary of one completed client session (for traces/analysis)."""
+
+    domain_id: int
+    client_id: int
+    server_id: int
+    pages: int
+    hits: int
+    started_at: float
+    ended_at: float
+    resolved_by_dns: bool
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at

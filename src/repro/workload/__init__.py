@@ -1,0 +1,25 @@
+"""Workload substrate: domain popularity, session model, client processes."""
+
+from .clients import ClientPopulation
+from .domains import DomainSet
+from .dynamics import DomainDynamics, RotatingHotDomains, StaticDomains
+from .sessions import (
+    DEFAULT_MAX_HITS_PER_PAGE,
+    DEFAULT_MEAN_THINK_TIME,
+    DEFAULT_MIN_HITS_PER_PAGE,
+    DEFAULT_PAGES_PER_SESSION,
+    SessionModel,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "DEFAULT_MAX_HITS_PER_PAGE",
+    "DEFAULT_MEAN_THINK_TIME",
+    "DEFAULT_MIN_HITS_PER_PAGE",
+    "DEFAULT_PAGES_PER_SESSION",
+    "DomainDynamics",
+    "DomainSet",
+    "RotatingHotDomains",
+    "SessionModel",
+    "StaticDomains",
+]

@@ -1,0 +1,199 @@
+"""Client processes driving the simulated web site.
+
+Each client runs an endless loop of sessions. A session starts with one
+address resolution through the client's domain name server (which may be
+answered from the NS cache — then the DNS never sees it) and then issues
+a geometric number of page bursts against the mapped server, separated by
+exponential think times. The population is partitioned over domains per
+the supplied :class:`~repro.workload.domains.DomainSet`.
+
+The population also maintains the statistic the paper repeatedly cites:
+the fraction of *data* requests the DNS directly controlled, i.e. hits
+belonging to sessions whose resolution actually reached the authoritative
+DNS (typically below a few percent — the crux of the scheduling problem).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dns.resolver import ResolutionChain
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStreams
+from ..sim.stats import RunningStats as _RttStats
+from ..sim.tracing import NullTracer
+from ..web.cluster import ServerCluster
+from .domains import DomainSet
+from .dynamics import StaticDomains
+from .sessions import SessionModel
+
+
+class ClientPopulation:
+    """Spawns and tracks all client processes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    cluster:
+        The web-server cluster receiving page bursts.
+    resolution_chain:
+        The DNS resolution path (per-domain name servers + DNS).
+    domains:
+        Domain popularity used to partition clients. For the
+        estimation-error experiments pass the *perturbed* set here while
+        the scheduler keeps estimates from the unperturbed set.
+    session_model:
+        Traffic distributions.
+    total_clients:
+        Size of the client population (Table 1: 500).
+    streams:
+        Named random streams (keeps workload draws independent from
+        scheduler coin flips).
+    tracer:
+        Optional tracer; records one ``"session"`` event per session start.
+    dynamics:
+        Optional :class:`~repro.workload.dynamics.DomainDynamics` that
+        remaps each client's domain identity over time (non-stationary
+        workloads). Default: static domains.
+    client_address_caching:
+        When ``True``, each client also caches its own address mapping
+        and reuses it across sessions while the TTL is valid ("caching of
+        the address mapping is typically done at Name Servers and also at
+        the clients"). Default ``False`` — one NS lookup per session, the
+        paper's base model.
+    """
+
+    def __init__(
+        self,
+        env,
+        cluster: ServerCluster,
+        resolution_chain: ResolutionChain,
+        domains: DomainSet,
+        session_model: SessionModel,
+        total_clients: int,
+        streams: RandomStreams,
+        tracer=None,
+        dynamics=None,
+        client_address_caching: bool = False,
+        layout=None,
+    ):
+        if total_clients < 1:
+            raise ConfigurationError(
+                f"total_clients must be >= 1, got {total_clients!r}"
+            )
+        self.env = env
+        self.cluster = cluster
+        self.resolution_chain = resolution_chain
+        self.domains = domains
+        self.session_model = session_model
+        self.total_clients = total_clients
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.dynamics = dynamics if dynamics is not None else StaticDomains()
+        self.client_address_caching = bool(client_address_caching)
+        #: Sessions served from a client's own cached mapping.
+        self.client_cache_hits = 0
+        #: Optional geographic layout; when present, per-page network
+        #: RTTs are accumulated in :attr:`network_rtt_stats`.
+        self.layout = layout
+        self.network_rtt_stats = _RttStats()
+        self._think_rng = streams.stream("workload.think")
+        self._pages_rng = streams.stream("workload.pages")
+        self._hits_rng = streams.stream("workload.hits")
+        self._stagger_rng = streams.stream("workload.stagger")
+        #: Hits issued in sessions resolved by the authoritative DNS.
+        self.dns_routed_hits = 0
+        self.total_hits = 0
+        self.total_pages = 0
+        self.total_sessions = 0
+        self.client_domains: List[int] = []
+        for domain_id, count in enumerate(domains.client_counts(total_clients)):
+            self.client_domains.extend([domain_id] * count)
+        self.processes = [
+            env.process(self._client(client_id, domain_id))
+            for client_id, domain_id in enumerate(self.client_domains)
+        ]
+
+    @property
+    def dns_control_fraction(self) -> float:
+        """Fraction of hits in sessions the DNS directly routed."""
+        return self.dns_routed_hits / self.total_hits if self.total_hits else 0.0
+
+    def _client(self, client_id: int, home_domain: int):
+        env = self.env
+        session_model = self.session_model
+        resolve = self.resolution_chain.resolve
+        servers = self.cluster.servers
+        think_rng = self._think_rng
+        pages_rng = self._pages_rng
+        hits_rng = self._hits_rng
+        think = session_model.think_time
+        pages_dist = session_model.pages_per_session
+        hits_dist = session_model.hits_per_page
+        dynamics = self.dynamics
+        static = dynamics.is_static
+        caching = self.client_address_caching
+        layout = self.layout
+        rtt_stats = self.network_rtt_stats
+        cached_record = None
+        cached_domain = -1
+        # Stagger session starts across one mean think time so the whole
+        # population does not resolve at t=0 in lockstep.
+        yield env.timeout(self._stagger_rng.uniform(0.0, think.mean))
+        while True:
+            domain_id = (
+                home_domain
+                if static
+                else dynamics.current_domain(home_domain, env.now)
+            )
+            if (
+                caching
+                and cached_record is not None
+                and cached_domain == domain_id
+                and cached_record.is_valid(env.now)
+            ):
+                record = cached_record
+                resolved_by_dns = False
+                self.client_cache_hits += 1
+            else:
+                before = self.resolution_chain.authoritative_answers
+                record = resolve(domain_id, env.now, client_id)
+                resolved_by_dns = (
+                    self.resolution_chain.authoritative_answers > before
+                )
+                if caching:
+                    cached_record = record
+                    cached_domain = domain_id
+            server = servers[record.server_id]
+            pages = int(pages_dist.sample(pages_rng))
+            self.total_sessions += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    env.now,
+                    "session",
+                    {
+                        "client": client_id,
+                        "domain": domain_id,
+                        "server": record.server_id,
+                        "pages": pages,
+                        "dns": resolved_by_dns,
+                    },
+                )
+            if layout is not None:
+                page_rtt = layout.rtt(domain_id, record.server_id)
+            for _ in range(pages):
+                hits = int(hits_dist.sample(hits_rng))
+                server.offer(env.now, hits, domain_id)
+                self.total_pages += 1
+                self.total_hits += hits
+                if resolved_by_dns:
+                    self.dns_routed_hits += hits
+                if layout is not None:
+                    rtt_stats.add(page_rtt)
+                yield env.timeout(think.sample(think_rng))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClientPopulation clients={self.total_clients} "
+            f"domains={self.domains.domain_count} hits={self.total_hits}>"
+        )

@@ -1,0 +1,136 @@
+"""Client domains and their popularity distribution.
+
+The paper partitions clients among ``K`` domains by a *pure Zipf*
+distribution: the probability that a client belongs to the i-th most
+popular domain is proportional to ``1/i`` (an analysis of academic and
+commercial sites found ~75% of requests coming from 10% of domains).
+:class:`DomainSet` captures the domain shares, derives the quantities the
+schedulers need (relative hidden-load weights, hot/normal classes) and
+implements the workload perturbation used by the estimation-error
+experiments (Figs. 6-7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from ..sim.distributions import zipf_weights
+
+
+class DomainSet:
+    """A set of client domains with normalized popularity shares.
+
+    Parameters
+    ----------
+    shares:
+        Fraction of the client population in each domain; must be positive
+        and sum to 1 (within floating-point tolerance). Domains are indexed
+        ``0..K-1`` in *descending* popularity.
+    """
+
+    def __init__(self, shares: Sequence[float]):
+        values = [float(s) for s in shares]
+        if not values:
+            raise ConfigurationError("a domain set needs at least one domain")
+        if any(s <= 0 for s in values):
+            raise ConfigurationError("domain shares must be positive")
+        total = sum(values)
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"domain shares must sum to 1, got {total!r}")
+        self.shares: List[float] = values
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def pure_zipf(cls, domain_count: int, exponent: float = 1.0) -> "DomainSet":
+        """The paper's client partition: shares proportional to 1/rank."""
+        return cls(zipf_weights(domain_count, exponent))
+
+    @classmethod
+    def uniform(cls, domain_count: int) -> "DomainSet":
+        """Equal shares — the hypothesis under which plain RR works and
+        which defines the paper's *Ideal* envelope curve."""
+        if domain_count < 1:
+            raise ConfigurationError(
+                f"domain_count must be >= 1, got {domain_count!r}"
+            )
+        return cls([1.0 / domain_count] * domain_count)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.shares)
+
+    @property
+    def relative_weights(self) -> List[float]:
+        """Hidden-load weights relative to the most popular domain.
+
+        ``w_j = lambda_j / lambda_max`` — the ratio the TTL/K formula uses
+        (``TTL_j = TTL_min * lambda_max / lambda_j``).
+        """
+        peak = max(self.shares)
+        return [share / peak for share in self.shares]
+
+    def hottest_domain(self) -> int:
+        """Index of the most popular domain."""
+        return max(range(len(self.shares)), key=lambda j: self.shares[j])
+
+    def client_counts(self, total_clients: int) -> List[int]:
+        """Integer client counts per domain by largest-remainder rounding.
+
+        Guarantees the counts sum exactly to ``total_clients`` and that
+        rounding never starves a domain whose exact share is >= 0.5 client.
+        """
+        if total_clients < 1:
+            raise ConfigurationError(
+                f"total_clients must be >= 1, got {total_clients!r}"
+            )
+        exact = [share * total_clients for share in self.shares]
+        counts = [int(x) for x in exact]
+        remainder = total_clients - sum(counts)
+        by_fraction = sorted(
+            range(len(exact)), key=lambda j: exact[j] - counts[j], reverse=True
+        )
+        for j in by_fraction[:remainder]:
+            counts[j] += 1
+        return counts
+
+    # -- perturbation (Figs. 6-7) ---------------------------------------------
+
+    def perturb_hottest(self, error: float) -> "DomainSet":
+        """Increase the busiest domain's share by ``error`` (e.g. 0.3 = 30%).
+
+        Paper, Section 5.2: "the request rate of the busiest domain is
+        increased by e% and the request rates of the other domains are
+        proportionally decreased to maintain the same total request rate.
+        This effectively increases the skew of the client rate
+        distribution, hence represents a worst case."
+        """
+        if error < 0:
+            raise ConfigurationError(f"error must be >= 0, got {error!r}")
+        if error == 0:
+            return DomainSet(self.shares)
+        if len(self.shares) == 1:
+            raise ConfigurationError("cannot perturb a single-domain set")
+        hot = self.hottest_domain()
+        new_hot_share = self.shares[hot] * (1.0 + error)
+        if new_hot_share >= 1.0:
+            raise ConfigurationError(
+                f"perturbation {error!r} would give the hottest domain "
+                f"share {new_hot_share!r} >= 1"
+            )
+        scale = (1.0 - new_hot_share) / (1.0 - self.shares[hot])
+        shares = [share * scale for share in self.shares]
+        shares[hot] = new_hot_share
+        return DomainSet(shares)
+
+    def __len__(self) -> int:
+        return len(self.shares)
+
+    def __iter__(self):
+        return iter(self.shares)
+
+    def __repr__(self) -> str:
+        return f"<DomainSet K={self.domain_count} top={max(self.shares):.3f}>"

@@ -1,0 +1,89 @@
+"""Time-varying domain popularity (the paper's "dynamic environment").
+
+Section 5.2 motivates the robustness study with "a more dynamic
+environment where client request rates from the domains may change
+constantly". The perturbation experiments model a one-shot change; this
+module models *continuous* change: the identities of the hottest domains
+rotate over time, so a DNS clinging to stale estimates keeps mis-classing
+exactly the domains that matter most.
+
+:class:`RotatingHotDomains` applies a cyclic relabelling among the top
+``rotate_count`` nominal domains every ``shift_interval`` seconds. The
+multiset of domain request rates — and hence the total load and the Zipf
+skew — is invariant; only *which* administrative domain is hot changes.
+A static estimator (the oracle) therefore becomes progressively wrong
+about individual domains while remaining right on aggregate, which is
+precisely the failure mode measured/windowed estimators exist to fix.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class DomainDynamics:
+    """Maps a client's home domain to its current effective domain."""
+
+    def current_domain(self, home_domain: int, now: float) -> int:
+        """The domain identity of ``home_domain``'s clients at ``now``."""
+        raise NotImplementedError
+
+    @property
+    def is_static(self) -> bool:
+        return False
+
+
+class StaticDomains(DomainDynamics):
+    """No dynamics: every client keeps its home domain (the default)."""
+
+    def current_domain(self, home_domain: int, now: float) -> int:
+        return home_domain
+
+    @property
+    def is_static(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "<StaticDomains>"
+
+
+class RotatingHotDomains(DomainDynamics):
+    """Cyclically rotate the identities of the hottest domains.
+
+    Parameters
+    ----------
+    shift_interval:
+        Seconds between rotation steps.
+    rotate_count:
+        How many of the top domains take part in the rotation (they
+        exchange rates cyclically; domains beyond this count are
+        untouched).
+    """
+
+    def __init__(self, shift_interval: float, rotate_count: int):
+        if shift_interval <= 0:
+            raise ConfigurationError(
+                f"shift_interval must be > 0, got {shift_interval!r}"
+            )
+        if rotate_count < 2:
+            raise ConfigurationError(
+                f"rotate_count must be >= 2, got {rotate_count!r}"
+            )
+        self.shift_interval = float(shift_interval)
+        self.rotate_count = int(rotate_count)
+
+    def rotation_step(self, now: float) -> int:
+        """How many cyclic shifts have been applied by time ``now``."""
+        return int(now // self.shift_interval)
+
+    def current_domain(self, home_domain: int, now: float) -> int:
+        if home_domain >= self.rotate_count:
+            return home_domain
+        step = self.rotation_step(now) % self.rotate_count
+        return (home_domain + step) % self.rotate_count
+
+    def __repr__(self) -> str:
+        return (
+            f"<RotatingHotDomains every {self.shift_interval:g}s "
+            f"among top {self.rotate_count}>"
+        )

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import OracleEstimator
+from repro.core.state import SchedulerState
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.web.cluster import ServerCluster
+from repro.workload.domains import DomainSet
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def streams():
+    """Deterministic random streams."""
+    return RandomStreams(12345)
+
+
+def make_state(
+    heterogeneity: int = 20,
+    domain_count: int = 20,
+    uniform: bool = False,
+) -> SchedulerState:
+    """A SchedulerState over a Table 2 cluster with oracle Zipf weights."""
+    cluster = ServerCluster.from_heterogeneity(heterogeneity)
+    domains = (
+        DomainSet.uniform(domain_count)
+        if uniform
+        else DomainSet.pure_zipf(domain_count)
+    )
+    return SchedulerState(cluster, OracleEstimator(domains.shares))
+
+
+@pytest.fixture
+def state():
+    """Default scheduler state: het 20%, 20 Zipf domains."""
+    return make_state()

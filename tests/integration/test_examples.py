@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are part of the public deliverable; these tests run each one in
+a subprocess with a tiny simulated duration so breakage is caught by CI
+rather than by readers. Marked ``slow`` (a few minutes total).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    """Run one example script; returns its stdout."""
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "DRR2-TTL/S_K", "400")
+    assert "Cumulative frequency" in out
+    assert "DNS directly controlled" in out
+
+
+def test_compare_policies():
+    out = run_example("compare_policies.py", "35", "300")
+    assert "DRR2-TTL/S_K" in out
+    assert "IDEAL" in out
+    assert "P(max<0.98)" in out
+
+
+def test_noncooperative_resolvers():
+    out = run_example("noncooperative_resolvers.py", "50", "300")
+    assert "min TTL 120s" in out
+    assert "crossover" in out
+
+
+def test_capacity_planning():
+    out = run_example("capacity_planning.py", "300")
+    assert "client population" in out
+    assert "DRR2-TTL/S_K" in out
+
+
+def test_custom_policy():
+    out = run_example("custom_policy.py", "300")
+    assert "P2C" in out
+    assert "higher is better" in out
+
+
+def test_dynamic_workload():
+    out = run_example("dynamic_workload.py", "200", "400")
+    assert "rotating" in out
+    assert "oracle" in out
+
+
+def test_geographic_routing():
+    out = run_example("geographic_routing.py", "300")
+    assert "PROXIMITY" in out
+    assert "total latency" in out
+
+
+def test_reproduce_paper(tmp_path):
+    out = run_example(
+        "reproduce_paper.py", "120", str(tmp_path), timeout=1200
+    )
+    assert "report written" in out
+    report = (tmp_path / "REPORT.md").read_text()
+    assert "# Reproduction report" in report
+    for figure_id in ("fig1", "fig4", "fig7"):
+        assert figure_id in report
+        assert (tmp_path / f"{figure_id}.csv").exists()
+        assert (tmp_path / f"{figure_id}.json").exists()

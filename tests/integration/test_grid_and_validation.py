@@ -1,0 +1,180 @@
+"""Integration tests for the grid runner, validation, and -FB policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.grid import GridResult, run_grid
+from repro.experiments.validation import validate_run
+
+QUICK = SimulationConfig(policy="RR", duration=600.0, seed=6)
+
+
+class TestGrid:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_grid(QUICK, {})
+
+    def test_cartesian_product_size(self):
+        grid = run_grid(
+            QUICK,
+            {"policy": ["RR", "DAL"], "heterogeneity": [20, 50]},
+        )
+        assert len(grid) == 4
+        assert grid.parameters == ["policy", "heterogeneity"]
+
+    def test_progress_callback(self):
+        seen = []
+        run_grid(
+            QUICK, {"heterogeneity": [20, 50]}, progress=seen.append
+        )
+        assert seen == [{"heterogeneity": 20}, {"heterogeneity": 50}]
+
+    def test_value_lookup(self):
+        grid = run_grid(QUICK, {"heterogeneity": [20, 50]})
+        value = grid.value(heterogeneity=20)
+        assert 0.0 <= value <= 1.0
+
+    def test_value_ambiguous_lookup_rejected(self):
+        grid = run_grid(
+            QUICK, {"policy": ["RR", "DAL"], "heterogeneity": [20, 50]}
+        )
+        with pytest.raises(ConfigurationError):
+            grid.value(heterogeneity=20)  # matches two cells
+
+    def test_pivot_shape(self):
+        grid = run_grid(
+            QUICK,
+            {"policy": ["RR", "DAL"], "heterogeneity": [20, 50]},
+        )
+        rows, cols, matrix = grid.pivot("policy", "heterogeneity")
+        assert rows == ["DAL", "RR"]
+        assert cols == [20, 50]
+        assert len(matrix) == 2 and len(matrix[0]) == 2
+
+    def test_pivot_bad_axis_rejected(self):
+        grid = run_grid(QUICK, {"heterogeneity": [20]})
+        with pytest.raises(ConfigurationError):
+            grid.pivot("policy", "heterogeneity")
+
+    def test_pivot_table_renders(self):
+        grid = run_grid(
+            QUICK, {"policy": ["RR", "DAL"], "heterogeneity": [20]}
+        )
+        text = grid.pivot_table("policy", "heterogeneity")
+        assert "RR" in text and "DAL" in text
+
+    def test_csv_long_format(self):
+        grid = run_grid(QUICK, {"heterogeneity": [20, 50]})
+        csv_text = grid.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "heterogeneity,metric"
+        assert len(lines) == 3
+
+
+class TestValidation:
+    def test_default_run_passes(self):
+        report = validate_run(
+            SimulationConfig(duration=1800.0, seed=3)
+        )
+        assert report.passed, str(report)
+        assert len(report.checks) == 6
+        assert report.failures() == []
+
+    def test_report_renders(self):
+        report = validate_run(SimulationConfig(duration=900.0, seed=3))
+        text = str(report)
+        assert "mean utilization" in text
+        assert "=>" in text
+
+    def test_rate_check_skipped_under_overrides(self):
+        report = validate_run(
+            SimulationConfig(
+                policy="DRR2-TTL/S_K",
+                duration=900.0,
+                seed=3,
+                min_accepted_ttl=120.0,
+            )
+        )
+        rate_check = next(
+            c for c in report.checks if "address-request" in c.name
+        )
+        assert rate_check.passed
+        assert "skipped" in rate_check.detail
+
+
+class TestAlarmScaledTtlPolicies:
+    def test_parse_fb_suffix(self):
+        from repro.core.registry import parse_policy_name
+
+        spec = parse_policy_name("prr2-ttl/k-fb")
+        assert spec.alarm_scaled_ttl
+        assert spec.name == "PRR2-TTL/K-FB"
+
+    def test_fb_wraps_ttl_policy(self):
+        from repro.core.registry import build_policy
+        from repro.core.ttl.feedback import AlarmResponsiveTtlPolicy
+        from repro.sim.rng import RandomStreams
+
+        from ..conftest import make_state
+
+        state = make_state()
+        _, ttl_policy = build_policy(
+            "DRR2-TTL/S_K-FB", state, RandomStreams(1)
+        )
+        assert isinstance(ttl_policy, AlarmResponsiveTtlPolicy)
+
+    def test_fb_identical_without_alarms(self):
+        from repro.core.registry import build_policy
+        from repro.sim.rng import RandomStreams
+
+        from ..conftest import make_state
+
+        state = make_state()
+        _, plain = build_policy("DRR2-TTL/S_K", state, RandomStreams(1))
+        _, wrapped = build_policy(
+            "DRR2-TTL/S_K-FB", state, RandomStreams(1)
+        )
+        assert wrapped.ttl_for(0, 0, 0.0) == plain.ttl_for(0, 0, 0.0)
+
+    def test_fb_scales_down_under_alarms(self):
+        from repro.core.registry import build_policy
+        from repro.sim.rng import RandomStreams
+
+        from ..conftest import make_state
+
+        state = make_state()
+        _, wrapped = build_policy(
+            "DRR2-TTL/S_K-FB", state, RandomStreams(1)
+        )
+        base = wrapped.ttl_for(5, 0, 0.0)
+        state.set_alarm(0.0, 3, True)
+        assert wrapped.ttl_for(5, 0, 0.0) == pytest.approx(base / 2)
+        state.set_alarm(1.0, 4, True)
+        assert wrapped.ttl_for(5, 0, 0.0) == pytest.approx(base / 4)
+        assert wrapped.scaled_grants == 2
+
+    def test_fb_respects_floor(self):
+        from repro.core.ttl.constant import ConstantTtlPolicy
+        from repro.core.ttl.feedback import AlarmResponsiveTtlPolicy
+
+        from ..conftest import make_state
+
+        state = make_state()
+        policy = AlarmResponsiveTtlPolicy(
+            ConstantTtlPolicy(20.0), state, reduction=0.1, min_ttl=10.0
+        )
+        state.set_alarm(0.0, 0, True)
+        assert policy.ttl_for(0, 0, 0.0) == 10.0
+
+    def test_fb_end_to_end(self):
+        from repro.experiments.simulation import run_simulation
+
+        result = run_simulation(
+            SimulationConfig(
+                policy="DRR2-TTL/S_K-FB", duration=900.0, seed=3,
+                heterogeneity=65,
+            )
+        )
+        assert result.policy == "DRR2-TTL/S_K-FB"
+        assert result.total_hits > 0

@@ -1,0 +1,110 @@
+"""Cross-validation: fluid server vs event-driven queueing server.
+
+Both implement a work-conserving FIFO single server, through completely
+different code paths (closed-form backlog arithmetic vs a worker process
+sleeping through service times). On identical arrival sequences their
+busy time, backlog, and per-page sojourn must agree to float precision —
+validating the fluid model *and* the engine's process semantics at once.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+from repro.web.queueing import QueueingWebServer
+from repro.web.server import WebServer
+
+arrivals = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=30.0, allow_nan=False),
+        st.integers(min_value=1, max_value=100),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def drive_both(schedule, capacity):
+    """Feed the same arrivals to both servers inside one environment."""
+    env = Environment()
+    fluid = WebServer(0, capacity)
+    queueing = QueueingWebServer(env, 1, capacity)
+
+    def feeder():
+        for gap, hits in schedule:
+            yield env.timeout(gap)
+            fluid.offer(env.now, hits, 0)
+            queueing.offer(env.now, hits, 0)
+
+    env.process(feeder())
+    total_gap = sum(gap for gap, _ in schedule)
+    total_work = sum(hits for _, hits in schedule) / capacity
+    horizon = total_gap + total_work + 1.0
+    env.run(until=horizon)
+    return env, fluid, queueing, horizon
+
+
+class TestBusyTimeAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals, st.floats(min_value=1.0, max_value=200.0,
+                               allow_nan=False))
+    def test_busy_time_matches(self, schedule, capacity):
+        env, fluid, queueing, horizon = drive_both(schedule, capacity)
+        fluid_busy = fluid.utilization(horizon) * horizon
+        assert fluid_busy == pytest.approx(queueing.busy_time, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals, st.floats(min_value=1.0, max_value=200.0,
+                               allow_nan=False))
+    def test_all_pages_complete(self, schedule, capacity):
+        env, fluid, queueing, horizon = drive_both(schedule, capacity)
+        assert queueing.completed_pages == len(schedule)
+        assert queueing.queue_length == 0
+        fluid.utilization(horizon)  # advance the fluid clock to the end
+        assert fluid.backlog_seconds == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals, st.floats(min_value=1.0, max_value=200.0,
+                               allow_nan=False))
+    def test_sojourn_times_match(self, schedule, capacity):
+        """Fluid per-page sojourn == queueing wait + service, summed."""
+        env, fluid, queueing, horizon = drive_both(schedule, capacity)
+        fluid_total = fluid.response_times.mean * fluid.response_times.count
+        assert fluid_total == pytest.approx(queueing.total_sojourn, abs=1e-6)
+
+
+class TestAgainstHandComputedCase:
+    def test_two_overlapping_jobs(self):
+        env = Environment()
+        server = QueueingWebServer(env, 0, capacity=10.0)
+
+        def feeder():
+            server.offer(env.now, 50, 0)  # 5 s of service at t=0
+            yield env.timeout(2.0)
+            server.offer(env.now, 20, 0)  # 2 s, queued behind 3 s left
+
+        env.process(feeder())
+        env.run(until=20.0)
+        assert server.busy_time == pytest.approx(7.0)
+        # Sojourns: job1 = 5; job2 arrives t=2, starts t=5, ends t=7 -> 5.
+        assert server.total_sojourn == pytest.approx(10.0)
+        assert server.utilization(20.0) == pytest.approx(7.0 / 20.0)
+
+    def test_random_load_utilization_sane(self):
+        rng = random.Random(5)
+        env = Environment()
+        server = QueueingWebServer(env, 0, capacity=100.0)
+
+        def feeder():
+            for _ in range(200):
+                yield env.timeout(rng.expovariate(1.0))
+                server.offer(env.now, rng.randint(5, 15), 0)
+
+        env.process(feeder())
+        env.run(until=400.0)
+        utilization = server.utilization(400.0)
+        # Offered: ~1 page/s x 10 hits / 100 hits/s for the first ~200 s.
+        assert 0.02 < utilization < 0.2

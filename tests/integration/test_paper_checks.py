@@ -1,0 +1,68 @@
+"""Qualitative fidelity: run reduced figures through the paper checks.
+
+Marked ``slow``: each test regenerates a (shortened) paper figure. Run
+with ``pytest -m slow`` or as part of the full suite; durations are
+chosen so the whole module stays around a couple of minutes.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.paper import CHECKS
+
+pytestmark = pytest.mark.slow
+
+#: Long enough for the orderings to be stable at a fixed seed.
+DURATION = 2400.0
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return figures.fig1(duration=DURATION, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return figures.fig2(duration=DURATION, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return figures.fig3(duration=DURATION, seed=SEED)
+
+
+def test_fig1_expectations(fig1_result):
+    assert CHECKS["fig1"](fig1_result) == []
+
+
+def test_fig2_expectations(fig2_result):
+    assert CHECKS["fig2"](fig2_result) == []
+
+
+def test_fig3_expectations(fig3_result):
+    assert CHECKS["fig3"](fig3_result) == []
+
+
+def test_fig4_expectations():
+    figure = figures.fig4(duration=DURATION, seed=SEED)
+    assert CHECKS["fig4"](figure) == []
+
+
+def test_fig5_expectations():
+    figure = figures.fig5(duration=DURATION, seed=SEED)
+    assert CHECKS["fig5"](figure) == []
+
+
+def test_fig6_expectations():
+    figure = figures.fig6(
+        duration=DURATION, seed=SEED, errors=[0.0, 0.3, 0.5]
+    )
+    assert CHECKS["fig6"](figure) == []
+
+
+def test_fig7_expectations():
+    figure = figures.fig7(
+        duration=DURATION, seed=SEED, errors=[0.0, 0.3, 0.5]
+    )
+    assert CHECKS["fig7"](figure) == []

@@ -1,0 +1,137 @@
+"""End-to-end policy-ordering tests — the paper's headline claims.
+
+Each test runs moderate-length simulations (30-60 simulated minutes) at a
+fixed seed and asserts the *qualitative* relationships the paper reports.
+Margins are generous: single short runs are noisy, and the claims tested
+are about clear separations, not ties.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import compare_policies
+from repro.experiments.simulation import run_simulation
+
+DURATION = 2400.0
+
+
+def prob(policy, seed=11, threshold=0.98, **overrides):
+    config = SimulationConfig(
+        policy=policy, duration=DURATION, seed=seed, **overrides
+    )
+    return run_simulation(config).prob_max_below(threshold)
+
+
+class TestHeadlineOrdering:
+    """Fig. 1/2 core claims at moderate heterogeneity."""
+
+    def test_adaptive_ttl_beats_plain_rr(self):
+        rr = prob("RR")
+        adaptive = prob("DRR2-TTL/S_K")
+        assert adaptive > rr + 0.3
+
+    def test_full_adaptation_near_ideal(self):
+        ideal = prob("IDEAL")
+        adaptive = prob("DRR2-TTL/S_K")
+        assert adaptive > ideal - 0.15
+
+    def test_server_only_adaptation_is_weak(self):
+        """TTL/S_1 'does not improve performance much with respect to RR'."""
+        s1 = prob("DRR2-TTL/S_1")
+        sk = prob("DRR2-TTL/S_K")
+        assert sk > s1 + 0.2
+
+    def test_probabilistic_routing_alone_insufficient(self):
+        """PRR-TTL/1 is clearly below the adaptive probabilistic schemes."""
+        constant = prob("PRR-TTL/1", heterogeneity=35)
+        adaptive = prob("PRR-TTL/K", heterogeneity=35)
+        assert adaptive > constant + 0.2
+
+    def test_two_tier_helps(self):
+        """RR2-based strategies are better than RR-based counterparts."""
+        rr_based = prob("DRR-TTL/S_K")
+        rr2_based = prob("DRR2-TTL/S_K")
+        assert rr2_based > rr_based - 0.08
+
+    def test_ttl2_between_constant_and_ttlk(self):
+        constant = prob("PRR2-TTL/1", heterogeneity=35)
+        two = prob("PRR2-TTL/2", heterogeneity=35)
+        full = prob("PRR2-TTL/K", heterogeneity=35)
+        assert two > constant
+        assert full > two - 0.08
+
+
+class TestHeterogeneitySensitivity:
+    """Fig. 3 claims."""
+
+    def test_adaptive_stable_across_heterogeneity(self):
+        values = [
+            prob("DRR2-TTL/S_K", heterogeneity=level)
+            for level in (20, 50, 65)
+        ]
+        assert min(values) > 0.55
+
+    def test_rr_poor_at_every_level(self):
+        values = [prob("RR", heterogeneity=level) for level in (20, 65)]
+        assert max(values) < 0.45
+
+    def test_deterministic_vs_probabilistic_gap_shrinks(self):
+        """'The difference tends to diminish when heterogeneity increases'
+        — at least, the deterministic advantage must not explode."""
+        gap_low = prob("DRR2-TTL/S_K", heterogeneity=20) - prob(
+            "PRR2-TTL/K", heterogeneity=20
+        )
+        gap_high = prob("DRR2-TTL/S_K", heterogeneity=65) - prob(
+            "PRR2-TTL/K", heterogeneity=65
+        )
+        assert gap_high < gap_low + 0.25
+
+
+class TestMinTtlRobustness:
+    """Fig. 4/5 claims."""
+
+    def test_drr2_sk_degrades_with_min_ttl(self):
+        free = prob("DRR2-TTL/S_K", heterogeneity=50)
+        clamped = prob("DRR2-TTL/S_K", heterogeneity=50, min_accepted_ttl=120.0)
+        assert clamped < free - 0.2
+
+    def test_prr2_k_more_robust_than_drr2_sk_at_high_het(self):
+        drr_drop = prob("DRR2-TTL/S_K", heterogeneity=50) - prob(
+            "DRR2-TTL/S_K", heterogeneity=50, min_accepted_ttl=120.0
+        )
+        prr_drop = prob("PRR2-TTL/K", heterogeneity=50) - prob(
+            "PRR2-TTL/K", heterogeneity=50, min_accepted_ttl=120.0
+        )
+        assert prr_drop < drr_drop + 0.05
+
+    def test_prr2_ttl2_flat_below_its_hot_ttl(self):
+        free = prob("PRR2-TTL/2")
+        clamped = prob("PRR2-TTL/2", min_accepted_ttl=60.0)
+        assert abs(free - clamped) < 0.12
+
+
+class TestEstimationErrorRobustness:
+    """Fig. 6/7 claims."""
+
+    def test_ttlk_robust_to_error(self):
+        clean = prob("DRR2-TTL/S_K", heterogeneity=50)
+        noisy = prob("DRR2-TTL/S_K", heterogeneity=50, workload_error=0.3)
+        assert noisy > clean - 0.2
+
+    def test_ttl2_degrades_substantially_at_high_het_and_error(self):
+        noisy_two = prob("PRR2-TTL/2", heterogeneity=50, workload_error=0.4)
+        noisy_full = prob("PRR2-TTL/K", heterogeneity=50, workload_error=0.4)
+        assert noisy_full > noisy_two + 0.1
+
+    def test_error_increases_skew_hence_hurts(self):
+        clean = prob("PRR2-TTL/2", heterogeneity=50)
+        noisy = prob("PRR2-TTL/2", heterogeneity=50, workload_error=0.5)
+        assert noisy < clean
+
+
+class TestCommonRandomNumbers:
+    def test_compare_policies_uses_common_scenario(self):
+        base = SimulationConfig(policy="RR", duration=600.0, seed=3)
+        results = compare_policies(base, ["RR", "DAL"])
+        assert set(results) == {"RR", "DAL"}
+        assert results["RR"].config.seed == results["DAL"].config.seed

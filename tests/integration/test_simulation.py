@@ -1,0 +1,164 @@
+"""Integration tests: the fully wired simulation.
+
+These use short runs (minutes of simulated time, small populations) so
+the whole suite stays fast; the benchmark harness covers paper-length
+runs.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.simulation import Simulation, run_simulation
+
+QUICK = dict(duration=900.0, seed=7)
+
+
+class TestWiring:
+    def test_components_assembled(self):
+        simulation = Simulation(SimulationConfig(policy="DRR2-TTL/S_K", **QUICK))
+        assert simulation.cluster.server_count == 7
+        assert len(simulation.resolution_chain.nameservers) == 20
+        assert simulation.scheduler.name == "DRR2-TTL/S_K"
+        assert len(simulation.population.processes) == 500
+
+    def test_ideal_policy_forces_uniform_domains(self):
+        simulation = Simulation(SimulationConfig(policy="IDEAL", **QUICK))
+        shares = simulation.actual_domains.shares
+        assert max(shares) == pytest.approx(min(shares))
+
+    def test_perturbation_changes_actual_not_nominal(self):
+        simulation = Simulation(
+            SimulationConfig(policy="PRR2-TTL/K", workload_error=0.3, **QUICK)
+        )
+        assert simulation.actual_domains.shares[0] == pytest.approx(
+            simulation.nominal_domains.shares[0] * 1.3
+        )
+        # The oracle estimator stays at nominal (stale) shares.
+        assert simulation.estimator.shares() == pytest.approx(
+            simulation.nominal_domains.shares
+        )
+
+    def test_measured_estimator_wired(self):
+        simulation = Simulation(
+            SimulationConfig(policy="PRR2-TTL/K", estimator="measured", **QUICK)
+        )
+        result = simulation.run()
+        assert simulation.estimator.collections > 0
+        assert result.total_hits > 0
+
+    def test_alarm_feedback_can_be_disabled(self):
+        simulation = Simulation(
+            SimulationConfig(policy="RR", alarm_feedback=False, **QUICK)
+        )
+        result = simulation.run()
+        assert simulation.alarm_protocol is None
+        assert result.alarm_signals == 0
+
+
+class TestRunOutputs:
+    def test_sample_count_matches_intervals(self):
+        config = SimulationConfig(
+            policy="RR", duration=960.0, utilization_interval=32.0, seed=1
+        )
+        result = run_simulation(config)
+        assert len(result.max_utilization_samples) == 30
+
+    def test_warmup_discards_samples(self):
+        config = SimulationConfig(
+            policy="RR", duration=960.0, warmup=320.0,
+            utilization_interval=32.0, seed=1,
+        )
+        result = run_simulation(config)
+        assert len(result.max_utilization_samples) == 20
+
+    def test_mean_utilization_near_offered_load(self):
+        result = run_simulation(SimulationConfig(policy="IDEAL", **QUICK))
+        mean = sum(result.mean_utilization_per_server) / 7
+        assert mean == pytest.approx(2 / 3, abs=0.12)
+
+    def test_utilizations_bounded(self):
+        result = run_simulation(SimulationConfig(policy="RR", **QUICK))
+        assert all(0.0 <= u <= 1.0 for u in result.max_utilization_samples)
+
+    def test_dns_control_fraction_small(self):
+        """The paper's observation: DNS controls only a few percent."""
+        result = run_simulation(SimulationConfig(policy="RR", **QUICK))
+        assert 0.0 < result.dns_control_fraction < 0.15
+
+    def test_address_request_rate_near_reference(self):
+        """K/TTL = 20/240 for the constant policy."""
+        result = run_simulation(
+            SimulationConfig(policy="RR", duration=3600.0, seed=7)
+        )
+        assert result.address_request_rate == pytest.approx(20 / 240, rel=0.35)
+
+    def test_calibration_holds_in_vivo(self):
+        """Adaptive policies produce a similar address-request rate."""
+        constant = run_simulation(
+            SimulationConfig(policy="RR", duration=3600.0, seed=7)
+        )
+        adaptive = run_simulation(
+            SimulationConfig(policy="DRR2-TTL/S_K", duration=3600.0, seed=7)
+        )
+        assert adaptive.address_request_rate == pytest.approx(
+            constant.address_request_rate, rel=0.25
+        )
+
+    def test_total_hits_plausible(self):
+        result = run_simulation(SimulationConfig(policy="RR", **QUICK))
+        # 500 clients x 2/3 hits/s x 900 s = ~300k hits (stagger lowers it).
+        assert 150_000 < result.total_hits < 400_000
+
+    def test_trace_collected_when_enabled(self):
+        result = run_simulation(
+            SimulationConfig(policy="RR", trace=True, duration=300.0, seed=1)
+        )
+        assert result.trace is not None
+        assert any(r.category == "session" for r in result.trace)
+
+    def test_no_trace_by_default(self):
+        result = run_simulation(SimulationConfig(policy="RR", duration=300.0))
+        assert result.trace is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        config = SimulationConfig(policy="PRR2-TTL/K", duration=600.0, seed=5)
+        first = run_simulation(config)
+        second = run_simulation(config)
+        assert first.max_utilization_samples == second.max_utilization_samples
+        assert first.dns_resolutions == second.dns_resolutions
+        assert first.total_hits == second.total_hits
+
+    def test_different_seed_different_trajectory(self):
+        base = SimulationConfig(policy="PRR2-TTL/K", duration=600.0, seed=5)
+        first = run_simulation(base)
+        second = run_simulation(base.replace(seed=6))
+        assert first.max_utilization_samples != second.max_utilization_samples
+
+
+class TestNonCooperativeNs:
+    def test_overrides_counted_when_threshold_bites(self):
+        config = SimulationConfig(
+            policy="DRR2-TTL/S_K", min_accepted_ttl=120.0, **QUICK
+        )
+        result = run_simulation(config)
+        assert result.ns_ttl_overrides > 0
+
+    def test_no_overrides_for_constant_240(self):
+        config = SimulationConfig(policy="RR", min_accepted_ttl=120.0, **QUICK)
+        result = run_simulation(config)
+        assert result.ns_ttl_overrides == 0
+
+    def test_clamp_raises_mean_granted_ttl_usage(self):
+        free = run_simulation(
+            SimulationConfig(policy="PRR2-TTL/K", **QUICK)
+        )
+        clamped = run_simulation(
+            SimulationConfig(
+                policy="PRR2-TTL/K", min_accepted_ttl=120.0, **QUICK
+            )
+        )
+        # The DNS still *grants* the same TTLs; the NSs override them, so
+        # the DNS sees fewer address requests from hot domains.
+        assert clamped.dns_resolutions <= free.dns_resolutions

@@ -1,0 +1,80 @@
+"""Model-based property tests for the TTL cache."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.dns.cache import TtlCache
+
+
+class CacheModel(RuleBasedStateMachine):
+    """Compare TtlCache against a naive dict-of-expiries model."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = TtlCache()
+        self.model = {}
+        self.now = 0.0
+
+    keys = st.sampled_from(["a", "b", "c", "d"])
+
+    @rule(key=keys, ttl=st.floats(min_value=0.0, max_value=100.0,
+                                  allow_nan=False),
+          value=st.integers())
+    def put(self, key, ttl, value):
+        self.cache.put(key, value, ttl=ttl, now=self.now)
+        self.model[key] = (value, self.now + ttl)
+
+    @rule(key=keys)
+    def get(self, key):
+        expected = None
+        if key in self.model:
+            value, expires_at = self.model[key]
+            if self.now < expires_at:
+                expected = value
+            else:
+                del self.model[key]
+        assert self.cache.get(key, self.now) == expected
+
+    @rule(delta=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def advance_time(self, delta):
+        self.now += delta
+
+    @rule(key=keys)
+    def invalidate(self, key):
+        expected = key in self.model
+        self.model.pop(key, None)
+        assert self.cache.invalidate(key) == expected
+
+    @rule()
+    def purge(self):
+        stale = [k for k, (_, exp) in self.model.items() if self.now >= exp]
+        for key in stale:
+            del self.model[key]
+        assert self.cache.purge_expired(self.now) == len(stale)
+
+    @invariant()
+    def cache_never_larger_than_model(self):
+        # The cache may retain expired entries until observed, so it can
+        # only be larger by entries the model already evicted lazily.
+        live = {
+            k for k, (_, exp) in self.model.items() if self.now < exp
+        }
+        assert live <= {k for k in ("a", "b", "c", "d") if k in self.cache}
+
+
+TestCacheModel = CacheModel.TestCase
+
+
+class TestCacheStats:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b"]),
+                              st.floats(min_value=0.0, max_value=10.0,
+                                        allow_nan=False)),
+                    max_size=50))
+    def test_hits_plus_misses_equals_lookups(self, operations):
+        cache = TtlCache()
+        cache.put("a", 1, ttl=5.0, now=0.0)
+        for key, now in operations:
+            cache.get(key, now)
+        assert cache.stats.hits + cache.stats.misses == len(operations)
+        assert 0.0 <= cache.stats.hit_ratio <= 1.0

@@ -1,0 +1,117 @@
+"""Property-based tests for TTL calibration: the fairness invariant.
+
+The paper's comparison is only fair if every adaptive policy produces the
+same average address-request rate as the constant-TTL policy. That
+invariant must hold for *any* cluster shape, domain skew, and tier count,
+not just the paper's defaults — exactly what hypothesis explores here.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classes import (
+    LoadQuantileClassifier,
+    PerDomainClassifier,
+    SingleClassClassifier,
+    TwoClassClassifier,
+)
+from repro.core.estimator import OracleEstimator
+from repro.core.state import SchedulerState
+from repro.core.ttl.adaptive import AdaptiveTtlPolicy
+from repro.core.ttl.calibration import (
+    capacity_selection_probabilities,
+    reference_request_rate,
+    uniform_selection_probabilities,
+)
+from repro.web.cluster import ServerCluster
+from repro.workload.domains import DomainSet
+
+clusters = st.lists(
+    st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=9,
+).map(lambda tail: ServerCluster([1.0] + sorted(tail, reverse=True)))
+
+domain_counts = st.integers(min_value=1, max_value=60)
+exponents = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+tier_choices = st.sampled_from(["1", "2", "K", "4"])
+
+
+def build_policy(cluster, domain_count, exponent, tiers, scaled, probabilistic):
+    domains = DomainSet.pure_zipf(domain_count, exponent)
+    state = SchedulerState(cluster, OracleEstimator(domains.shares))
+    if tiers == "K":
+        classifier = PerDomainClassifier(state.estimator)
+    elif tiers == "1":
+        classifier = SingleClassClassifier(state.estimator)
+    elif tiers == "2":
+        classifier = TwoClassClassifier(state.estimator)
+    else:
+        classifier = LoadQuantileClassifier(state.estimator, int(tiers))
+    if probabilistic:
+        probabilities = capacity_selection_probabilities(
+            state.relative_capacities
+        )
+    else:
+        probabilities = uniform_selection_probabilities(state.server_count)
+    return AdaptiveTtlPolicy(
+        state=state,
+        classifier=classifier,
+        scale_by_capacity=scaled,
+        selection_probabilities=probabilities,
+        constant_ttl=240.0,
+    ), probabilities
+
+
+@settings(max_examples=40, deadline=None)
+@given(clusters, domain_counts, exponents, tier_choices,
+       st.booleans(), st.booleans())
+def test_calibrated_rate_matches_reference(
+    cluster, domain_count, exponent, tiers, scaled, probabilistic
+):
+    policy, probabilities = build_policy(
+        cluster, domain_count, exponent, tiers, scaled, probabilistic
+    )
+    reference = reference_request_rate(domain_count, 240.0)
+    rate = 0.0
+    for domain in range(domain_count):
+        expected_ttl = sum(
+            p * policy.ttl_for(domain, server, 0.0)
+            for server, p in enumerate(probabilities)
+        )
+        rate += 1.0 / expected_ttl
+    assert math.isclose(rate, reference, rel_tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clusters, domain_counts, exponents, tier_choices,
+       st.booleans(), st.booleans())
+def test_ttls_positive_and_finite(
+    cluster, domain_count, exponent, tiers, scaled, probabilistic
+):
+    policy, _ = build_policy(
+        cluster, domain_count, exponent, tiers, scaled, probabilistic
+    )
+    for domain in range(0, domain_count, max(1, domain_count // 5)):
+        for server in range(cluster.server_count):
+            ttl = policy.ttl_for(domain, server, 0.0)
+            assert ttl > 0.0
+            assert math.isfinite(ttl)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clusters, domain_counts, exponents)
+def test_hotter_domains_never_get_longer_ttls(cluster, domain_count, exponent):
+    policy, _ = build_policy(cluster, domain_count, exponent, "K", True, False)
+    ttls = [policy.ttl_for(d, 0, 0.0) for d in range(domain_count)]
+    assert all(a <= b + 1e-9 for a, b in zip(ttls, ttls[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(clusters, domain_counts)
+def test_weaker_servers_never_get_longer_ttls(cluster, domain_count):
+    policy, _ = build_policy(cluster, domain_count, 1.0, "K", True, False)
+    ttls = [policy.ttl_for(0, s, 0.0) for s in range(cluster.server_count)]
+    assert all(a >= b - 1e-9 for a, b in zip(ttls, ttls[1:]))

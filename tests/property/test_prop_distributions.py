@@ -1,0 +1,84 @@
+"""Property-based tests for distributions and Zipf weights."""
+
+import math
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    DiscreteUniform,
+    Empirical,
+    Exponential,
+    Geometric,
+    Uniform,
+    zipf_weights,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestZipfWeights:
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    def test_normalized_and_descending(self, count, exponent):
+        weights = zipf_weights(count, exponent)
+        assert len(weights) == count
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+        assert all(w > 0 for w in weights)
+        assert all(a >= b - 1e-12 for a, b in zip(weights, weights[1:]))
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_pure_zipf_rank_ratio(self, count):
+        weights = zipf_weights(count)
+        for rank in (2, count):
+            assert weights[0] / weights[rank - 1] == rank or math.isclose(
+                weights[0] / weights[rank - 1], rank
+            )
+
+
+class TestSampleRanges:
+    @given(seeds, st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_discrete_uniform_in_bounds(self, seed, a, width):
+        rng = random.Random(seed)
+        dist = DiscreteUniform(a, a + width)
+        for _ in range(20):
+            value = dist.sample(rng)
+            assert a <= value <= a + width
+
+    @given(seeds, st.floats(min_value=0.001, max_value=1e5, allow_nan=False))
+    def test_exponential_nonnegative(self, seed, mean):
+        rng = random.Random(seed)
+        dist = Exponential(mean)
+        assert all(dist.sample(rng) >= 0.0 for _ in range(20))
+
+    @given(seeds, st.floats(min_value=1.0, max_value=1e4, allow_nan=False))
+    def test_geometric_at_least_one_integer(self, seed, mean):
+        rng = random.Random(seed)
+        dist = Geometric(mean)
+        for _ in range(20):
+            value = dist.sample(rng)
+            assert isinstance(value, int)
+            assert value >= 1
+
+    @given(seeds,
+           st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_uniform_in_bounds(self, seed, low, width):
+        rng = random.Random(seed)
+        dist = Uniform(low, low + width)
+        for _ in range(20):
+            assert low <= dist.sample(rng) <= low + width
+
+    @given(
+        seeds,
+        st.lists(st.floats(min_value=0.001, max_value=100.0,
+                           allow_nan=False), min_size=1, max_size=20),
+    )
+    def test_empirical_samples_from_support(self, seed, weights):
+        rng = random.Random(seed)
+        values = list(range(len(weights)))
+        dist = Empirical(values, weights)
+        for _ in range(20):
+            assert dist.sample(rng) in values

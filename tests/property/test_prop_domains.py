@@ -1,0 +1,71 @@
+"""Property-based tests for the domain/workload model."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.workload.domains import DomainSet
+
+
+class TestClientCounts:
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=5000))
+    def test_counts_sum_exactly(self, domains, clients):
+        counts = DomainSet.pure_zipf(domains).client_counts(clients)
+        assert sum(counts) == clients
+        assert all(count >= 0 for count in counts)
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=5000))
+    def test_counts_within_one_of_exact_share(self, domains, clients):
+        domain_set = DomainSet.pure_zipf(domains)
+        counts = domain_set.client_counts(clients)
+        for count, share in zip(counts, domain_set.shares):
+            assert abs(count - share * clients) <= 1.0
+
+    @given(st.integers(min_value=2, max_value=100))
+    def test_zipf_counts_nonincreasing(self, domains):
+        counts = DomainSet.pure_zipf(domains).client_counts(1000)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+class TestPerturbation:
+    shares_strategy = st.integers(min_value=2, max_value=100).map(
+        lambda k: DomainSet.pure_zipf(k)
+    )
+
+    @given(shares_strategy,
+           st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    def test_total_mass_preserved(self, domains, error):
+        assume(domains.shares[0] * (1 + error) < 1.0)
+        perturbed = domains.perturb_hottest(error)
+        assert math.isclose(sum(perturbed.shares), 1.0)
+
+    @given(shares_strategy,
+           st.floats(min_value=0.01, max_value=0.5, allow_nan=False))
+    def test_hot_grows_others_shrink(self, domains, error):
+        assume(domains.shares[0] * (1 + error) < 1.0)
+        perturbed = domains.perturb_hottest(error)
+        assert perturbed.shares[0] > domains.shares[0]
+        for original, new in zip(domains.shares[1:], perturbed.shares[1:]):
+            assert new <= original
+
+    @given(shares_strategy,
+           st.floats(min_value=0.01, max_value=0.5, allow_nan=False))
+    def test_relative_order_preserved(self, domains, error):
+        assume(domains.shares[0] * (1 + error) < 1.0)
+        perturbed = domains.perturb_hottest(error)
+        order = sorted(range(len(domains)), key=lambda j: -domains.shares[j])
+        new_order = sorted(
+            range(len(perturbed)), key=lambda j: -perturbed.shares[j]
+        )
+        assert order == new_order
+
+
+class TestRelativeWeights:
+    @given(st.integers(min_value=1, max_value=200))
+    def test_weights_in_unit_interval_with_peak_one(self, domains):
+        weights = DomainSet.pure_zipf(domains).relative_weights
+        assert max(weights) == 1.0
+        assert all(0.0 < w <= 1.0 for w in weights)

@@ -1,0 +1,85 @@
+"""Property-based tests for the simulation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestEventOrdering:
+    @given(delays)
+    def test_callbacks_fire_in_nondecreasing_time_order(self, delay_list):
+        env = Environment()
+        fired = []
+        for delay in delay_list:
+            env.timeout(delay).callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delay_list)
+
+    @given(delays)
+    def test_clock_ends_at_latest_event(self, delay_list):
+        env = Environment()
+        for delay in delay_list:
+            env.timeout(delay)
+        env.run()
+        assert env.now == max(delay_list)
+
+    @given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_run_until_never_processes_later_events(self, delay_list, until):
+        env = Environment()
+        fired = []
+        for delay in delay_list:
+            env.timeout(delay).callbacks.append(lambda e: fired.append(env.now))
+        env.run(until=until)
+        assert all(t <= until for t in fired)
+        assert env.now == until
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=30))
+    def test_same_time_events_preserve_insertion_order(self, tags):
+        env = Environment()
+        fired = []
+        for index, _ in enumerate(tags):
+            env.timeout(5.0, value=index).callbacks.append(
+                lambda e: fired.append(e.value)
+            )
+        env.run()
+        assert fired == list(range(len(tags)))
+
+
+class TestProcessScheduling:
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_sequential_timeouts_accumulate(self, waits):
+        env = Environment()
+        result = []
+
+        def proc():
+            for wait in waits:
+                yield env.timeout(wait)
+            result.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert result[0] == sum(waits) or abs(result[0] - sum(waits)) < 1e-6
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_n_processes_all_complete(self, count):
+        env = Environment()
+        done = []
+
+        def proc(index):
+            yield env.timeout(float(index))
+            done.append(index)
+
+        for index in range(count):
+            env.process(proc(index))
+        env.run()
+        assert sorted(done) == list(range(count))

@@ -1,0 +1,118 @@
+"""Model-based property tests for Resource/Store semantics."""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+class ResourceModel(RuleBasedStateMachine):
+    """Check Resource against a simple counter/FIFO model."""
+
+    @initialize(capacity=st.integers(min_value=1, max_value=4))
+    def setup(self, capacity):
+        self.env = Environment()
+        self.capacity = capacity
+        self.resource = Resource(self.env, capacity=capacity)
+        self.granted = []  # requests currently holding a slot
+        self.waiting = []  # requests queued, FIFO
+
+    @rule()
+    def request(self):
+        request = self.resource.request()
+        if len(self.granted) < self.capacity:
+            assert request.triggered
+            self.granted.append(request)
+        else:
+            assert not request.triggered
+            self.waiting.append(request)
+
+    @precondition(lambda self: self.granted)
+    @rule(index=st.integers(min_value=0, max_value=10))
+    def release(self, index):
+        request = self.granted.pop(index % len(self.granted))
+        self.resource.release(request)
+        if self.waiting:
+            promoted = self.waiting.pop(0)
+            assert promoted.triggered  # FIFO promotion
+            self.granted.append(promoted)
+
+    @precondition(lambda self: self.waiting)
+    @rule(index=st.integers(min_value=0, max_value=10))
+    def cancel_waiting(self, index):
+        request = self.waiting.pop(index % len(self.waiting))
+        request.cancel()
+
+    @invariant()
+    def counts_match_model(self):
+        if not hasattr(self, "resource"):
+            return
+        assert self.resource.count == len(self.granted)
+        assert self.resource.queue_length == len(self.waiting)
+        assert self.resource.count <= self.capacity
+
+
+TestResourceModel = ResourceModel.TestCase
+
+
+class StoreModel(RuleBasedStateMachine):
+    """Check Store FIFO semantics against a plain list."""
+
+    @initialize(capacity=st.integers(min_value=1, max_value=5))
+    def setup(self, capacity):
+        self.env = Environment()
+        self.capacity = capacity
+        self.store = Store(self.env, capacity=capacity)
+        self.model = []  # items logically inside the store
+        self.pending_puts = []  # (event, item) blocked on capacity
+        self.pending_gets = []  # events blocked on emptiness
+        self.counter = 0
+
+    @rule()
+    def put(self):
+        self.counter += 1
+        item = self.counter
+        event = self.store.put(item)
+        if self.pending_gets:
+            # A waiting getter consumes the item immediately.
+            getter = self.pending_gets.pop(0)
+            assert getter.triggered
+            assert getter.value == item
+            assert event.triggered
+        elif len(self.model) < self.capacity:
+            assert event.triggered
+            self.model.append(item)
+        else:
+            assert not event.triggered
+            self.pending_puts.append((event, item))
+
+    @rule()
+    def get(self):
+        event = self.store.get()
+        if self.model:
+            assert event.triggered
+            assert event.value == self.model.pop(0)
+            if self.pending_puts:
+                put_event, item = self.pending_puts.pop(0)
+                assert put_event.triggered
+                self.model.append(item)
+        else:
+            assert not event.triggered
+            self.pending_gets.append(event)
+
+    @invariant()
+    def item_count_matches(self):
+        if not hasattr(self, "store"):
+            return
+        assert list(self.store.items) == self.model
+        assert len(self.model) <= self.capacity
+
+
+TestStoreModel = StoreModel.TestCase

@@ -1,0 +1,96 @@
+"""Property-based tests for scheduler invariants.
+
+Whatever the cluster shape, domain skew, alarm pattern, and request
+sequence, every scheduler must return a valid server index and must avoid
+alarmed servers whenever a non-alarmed one exists.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dal import DynamicallyAccumulatedLoadScheduler
+from repro.core.estimator import OracleEstimator
+from repro.core.mrl import MinimumResidualLoadScheduler
+from repro.core.probabilistic import (
+    ProbabilisticRoundRobinScheduler,
+    ProbabilisticTwoTierScheduler,
+)
+from repro.core.random_policy import RandomScheduler, WeightedRandomScheduler
+from repro.core.round_robin import (
+    RoundRobinScheduler,
+    TwoTierRoundRobinScheduler,
+)
+from repro.core.state import SchedulerState
+from repro.web.cluster import ServerCluster
+from repro.workload.domains import DomainSet
+
+SCHEDULER_FACTORIES = [
+    lambda state, rng: RoundRobinScheduler(state),
+    lambda state, rng: TwoTierRoundRobinScheduler(state),
+    lambda state, rng: ProbabilisticRoundRobinScheduler(state, rng),
+    lambda state, rng: ProbabilisticTwoTierScheduler(state, rng),
+    lambda state, rng: DynamicallyAccumulatedLoadScheduler(state),
+    lambda state, rng: MinimumResidualLoadScheduler(state),
+    lambda state, rng: RandomScheduler(state, rng),
+    lambda state, rng: WeightedRandomScheduler(state, rng),
+]
+
+scenario = st.fixed_dictionaries(
+    {
+        "alpha_tail": st.lists(
+            st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+            max_size=8,
+        ),
+        "domain_count": st.integers(min_value=1, max_value=40),
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+        "requests": st.lists(
+            st.integers(min_value=0, max_value=39), min_size=1, max_size=60
+        ),
+        "alarm_ops": st.lists(
+            st.tuples(st.integers(min_value=0, max_value=8), st.booleans()),
+            max_size=20,
+        ),
+        "factory_index": st.integers(
+            min_value=0, max_value=len(SCHEDULER_FACTORIES) - 1
+        ),
+    }
+)
+
+
+def build(params):
+    alphas = [1.0] + sorted(params["alpha_tail"], reverse=True)
+    cluster = ServerCluster(alphas)
+    domains = DomainSet.pure_zipf(params["domain_count"])
+    state = SchedulerState(cluster, OracleEstimator(domains.shares))
+    rng = random.Random(params["seed"])
+    scheduler = SCHEDULER_FACTORIES[params["factory_index"]](state, rng)
+    return state, scheduler
+
+
+@settings(max_examples=120, deadline=None)
+@given(scenario)
+def test_selection_always_valid_and_honours_alarms(params):
+    state, scheduler = build(params)
+    n = state.server_count
+    for server_id, alarmed in params["alarm_ops"]:
+        if server_id < n:
+            state.set_alarm(0.0, server_id, alarmed)
+    for step, domain in enumerate(params["requests"]):
+        domain_id = domain % params["domain_count"]
+        chosen = scheduler.select(domain_id, float(step))
+        assert 0 <= chosen < n
+        if not state.all_alarmed:
+            assert not state.is_alarmed(chosen)
+        scheduler.notify_assignment(domain_id, chosen, 240.0, float(step))
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario)
+def test_round_robin_covers_all_eligible_servers(params):
+    state, _ = build(params)
+    scheduler = RoundRobinScheduler(state)
+    n = state.server_count
+    picks = {scheduler.select(0, 0.0) for _ in range(2 * n)}
+    assert picks == set(state.eligible_servers())

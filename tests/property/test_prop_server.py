@@ -1,0 +1,128 @@
+"""Property-based tests for the fluid web-server model.
+
+Invariants under arbitrary arrival schedules:
+
+* **work conservation** — total busy time equals ``min`` of elapsed time
+  and offered work at every measurement point;
+* utilization is always in ``[0, 1]``;
+* backlog equals offered work minus completed work and never goes
+  negative;
+* per-domain hit counters always sum to the total hit count.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.web.server import WebServer
+
+arrival_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=50.0, allow_nan=False),  # gap
+        st.integers(min_value=1, max_value=200),  # hits
+        st.integers(min_value=0, max_value=5),  # domain
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+capacities = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacities, arrival_schedules)
+def test_utilization_bounded_and_work_conserving(capacity, schedule):
+    server = WebServer(0, capacity)
+    now = 0.0
+    busy_total = 0.0
+    offered_work = 0.0
+    window_start = 0.0
+    for gap, hits, domain in schedule:
+        now += gap
+        server.offer(now, hits, domain)
+        offered_work += hits / capacity
+        utilization = server.utilization(now)
+        assert 0.0 <= utilization <= 1.0 + 1e-9
+    # Close the window well after the last arrival and account all work.
+    drain_until = now + offered_work + 1.0
+    final_utilization = server.end_window(drain_until)
+    busy_total = server.utilization(drain_until)  # new window: zero busy
+    assert 0.0 <= final_utilization <= 1.0 + 1e-9
+    assert server.backlog_seconds <= 1e-9  # everything drained
+    assert busy_total == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacities, arrival_schedules)
+def test_backlog_is_offered_minus_completed(capacity, schedule):
+    server = WebServer(0, capacity)
+    now = 0.0
+    offered = 0.0
+    window_busy = 0.0
+    for gap, hits, domain in schedule:
+        now += gap
+        server.offer(now, hits, domain)
+        offered += hits / capacity
+        # Completed work so far = busy time since t=0 (single window).
+        completed = server.utilization(now) * now
+        assert server.backlog_seconds >= -1e-9
+        assert math.isclose(
+            server.backlog_seconds + completed, offered,
+            rel_tol=1e-9, abs_tol=1e-6,
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacities, arrival_schedules)
+def test_domain_hits_sum_to_total(capacity, schedule):
+    server = WebServer(0, capacity)
+    now = 0.0
+    for gap, hits, domain in schedule:
+        now += gap
+        server.offer(now, hits, domain)
+    assert sum(server.domain_hits.values()) == server.total_hits
+    drained = server.drain_domain_hits()
+    assert sum(drained.values()) == server.total_hits
+    assert server.domain_hits == {}
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacities, arrival_schedules)
+def test_windowed_busy_time_additivity(capacity, schedule):
+    """Busy time split across windows equals busy time of one window."""
+    single = WebServer(0, capacity)
+    split = WebServer(1, capacity)
+    now = 0.0
+    for gap, hits, domain in schedule:
+        now += gap
+        single.offer(now, hits, domain)
+        split.offer(now, hits, domain)
+    horizon = now + 1000.0
+    # One big window:
+    total_busy = single.utilization(horizon) * horizon
+    # Two windows split at an arbitrary interior point:
+    mid = now / 2 if now > 0 else horizon / 2
+    split_busy = 0.0
+    # Rebuild: must replay arrivals; instead split at horizon/2 which is
+    # after all arrivals for at least half the schedules. Use windows
+    # [0, mid_h) and [mid_h, horizon).
+    # (split server saw identical arrivals; close its window mid-way)
+    # NOTE: mid_h must be >= last arrival time for end_window semantics
+    # to be exercised beyond arrivals; both cases are valid.
+    mid_h = max(mid, now)
+    split_busy += split.end_window(mid_h) * mid_h
+    split_busy += split.utilization(horizon) * (horizon - mid_h)
+    assert math.isclose(total_busy, split_busy, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(capacities, arrival_schedules)
+def test_response_times_positive_and_count_pages(capacity, schedule):
+    server = WebServer(0, capacity)
+    now = 0.0
+    for gap, hits, domain in schedule:
+        now += gap
+        server.offer(now, hits, domain)
+    assert server.response_times.count == len(schedule)
+    assert server.response_times.minimum > 0.0

@@ -1,0 +1,52 @@
+"""Unit tests for repro.analysis.dossier."""
+
+import pytest
+
+from repro.analysis.dossier import full_report
+
+from .test_experiments_metrics import make_result
+
+
+class TestFullReport:
+    def test_headline_sections_present(self):
+        text = full_report(make_result([0.5, 0.9, 1.0]))
+        assert "policy: RR" in text
+        assert "headline metrics" in text
+        assert "P(max util < 0.98)" in text
+        assert "server balance" in text
+        assert "Jain index" in text
+        assert "warm-up diagnosis" in text
+
+    def test_timeseries_sections_only_with_series(self):
+        result = make_result([0.5, 0.9])
+        text = full_report(result)
+        assert "max utilization over time" not in text
+        result.utilization_series = [(32.0, [0.5, 0.4]), (64.0, [0.9, 0.3])]
+        text = full_report(result)
+        assert "max utilization over time" in text
+        assert "overload episodes" in text or "no overload episodes" in text
+
+    def test_overload_episode_listing(self):
+        result = make_result([0.5, 0.99, 0.99, 0.4])
+        result.utilization_series = [
+            (32.0, [0.5]),
+            (64.0, [0.99]),
+            (96.0, [0.99]),
+            (128.0, [0.4]),
+        ]
+        text = full_report(result)
+        assert "1 episode(s), 2 interval(s)" in text
+
+    def test_network_rtt_shown_when_present(self):
+        result = make_result([0.5])
+        assert "network RTT" not in full_report(result)
+        result.mean_network_rtt = 0.025
+        text = full_report(result)
+        assert "mean network RTT" in text
+        assert "25.0 ms" in text
+
+    def test_custom_overload_threshold(self):
+        result = make_result([0.5, 0.92])
+        result.utilization_series = [(32.0, [0.5]), (64.0, [0.92])]
+        text = full_report(result, overload_threshold=0.9)
+        assert ">= 0.9" in text

@@ -1,0 +1,86 @@
+"""Unit tests for repro.analysis.fairness."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    coefficient_of_variation,
+    imbalance_spread,
+    jain_fairness_index,
+    load_balance_report,
+    max_mean_ratio,
+)
+from repro.errors import SimulationError
+
+
+class TestJainIndex:
+    def test_balanced_is_one(self):
+        assert jain_fairness_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_single_hot_server_is_one_over_n(self):
+        assert jain_fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_idle_is_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        a = jain_fairness_index([0.2, 0.4, 0.6])
+        b = jain_fairness_index([2.0, 4.0, 6.0])
+        assert a == pytest.approx(b)
+
+    def test_bounds(self):
+        values = [0.9, 0.1, 0.5, 0.3]
+        index = jain_fairness_index(values)
+        assert 1 / len(values) <= index <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            jain_fairness_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            jain_fairness_index([0.5, -0.1])
+
+
+class TestCov:
+    def test_balanced_is_zero(self):
+        assert coefficient_of_variation([0.7, 0.7]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # values 1 and 3: mean 2, population std 1 -> CoV 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_zero_mean(self):
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+class TestRatios:
+    def test_max_mean_ratio(self):
+        assert max_mean_ratio([1.0, 1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_max_mean_ratio_balanced(self):
+        assert max_mean_ratio([0.3, 0.3]) == pytest.approx(1.0)
+
+    def test_max_mean_ratio_idle(self):
+        assert max_mean_ratio([0.0, 0.0]) == 1.0
+
+    def test_spread(self):
+        assert imbalance_spread([0.2, 0.9, 0.5]) == pytest.approx(0.7)
+
+
+class TestReport:
+    def test_keys_and_consistency(self):
+        values = [0.9, 0.5, 0.7]
+        report = load_balance_report(values)
+        assert set(report) == {
+            "jain_index",
+            "coefficient_of_variation",
+            "max_mean_ratio",
+            "spread",
+            "max",
+            "mean",
+        }
+        assert report["max"] == 0.9
+        assert report["mean"] == pytest.approx(0.7)
+        assert report["jain_index"] == pytest.approx(
+            jain_fairness_index(values)
+        )

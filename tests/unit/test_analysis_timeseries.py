@@ -1,0 +1,99 @@
+"""Unit tests for repro.analysis.timeseries."""
+
+import pytest
+
+from repro.analysis.timeseries import (
+    fairness_over_time,
+    max_series,
+    overload_episodes,
+    server_series,
+    sparkline,
+)
+from repro.errors import SimulationError
+
+from .test_experiments_metrics import make_result
+
+
+def result_with_series(vectors):
+    result = make_result([max(v) for _, v in vectors])
+    result.utilization_series = list(vectors)
+    return result
+
+
+SERIES = [
+    (32.0, [0.5, 0.6]),
+    (64.0, [0.99, 0.4]),
+    (96.0, [0.99, 0.5]),
+    (128.0, [0.3, 0.2]),
+    (160.0, [0.2, 0.99]),
+]
+
+
+class TestAccessors:
+    def test_requires_series(self):
+        result = make_result([0.5])
+        with pytest.raises(SimulationError):
+            max_series(result)
+
+    def test_server_series(self):
+        result = result_with_series(SERIES)
+        series = server_series(result, 1)
+        assert series == [(t, v[1]) for t, v in SERIES]
+
+    def test_server_series_bad_index(self):
+        result = result_with_series(SERIES)
+        with pytest.raises(SimulationError):
+            server_series(result, 7)
+
+    def test_max_series(self):
+        result = result_with_series(SERIES)
+        assert max_series(result) == [(t, max(v)) for t, v in SERIES]
+
+    def test_empty_series(self):
+        result = result_with_series([])
+        assert server_series(result, 0) == []
+
+
+class TestOverloadEpisodes:
+    def test_contiguous_episode_detected(self):
+        result = result_with_series(SERIES)
+        episodes = overload_episodes(result, threshold=0.98)
+        assert episodes == [(64.0, 96.0, 2), (160.0, 160.0, 1)]
+
+    def test_no_overload(self):
+        result = result_with_series([(1.0, [0.2, 0.3])])
+        assert overload_episodes(result) == []
+
+    def test_episode_running_to_the_end(self):
+        vectors = [(1.0, [0.99]), (2.0, [0.99])]
+        result = result_with_series(vectors)
+        assert overload_episodes(result) == [(1.0, 2.0, 2)]
+
+
+class TestFairnessOverTime:
+    def test_one_report_per_interval(self):
+        result = result_with_series(SERIES)
+        reports = fairness_over_time(result)
+        assert len(reports) == len(SERIES)
+        now, report = reports[0]
+        assert now == 32.0
+        assert "jain_index" in report
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_bounded_by_width(self):
+        line = sparkline(list(range(300)), width=60)
+        assert len(line) == 60
+
+    def test_short_series_rendered_fully(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        line = sparkline([0.5, 0.5, 0.5])
+        assert len(set(line)) == 1

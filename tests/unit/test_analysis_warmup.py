@@ -1,0 +1,68 @@
+"""Unit tests for repro.analysis.warmup (MSER truncation)."""
+
+import random
+
+import pytest
+
+from repro.analysis.warmup import mser_cutoff, mser_statistic, truncate_warmup
+from repro.errors import SimulationError
+
+
+def series_with_transient(transient=50, steady=400, seed=3):
+    """A ramp-up transient followed by stationary noise around 0.7."""
+    rng = random.Random(seed)
+    ramp = [0.1 + 0.6 * (i / transient) + rng.gauss(0, 0.02)
+            for i in range(transient)]
+    flat = [0.7 + rng.gauss(0, 0.02) for _ in range(steady)]
+    return ramp + flat
+
+
+class TestMserStatistic:
+    def test_constant_tail_is_zero(self):
+        assert mser_statistic([5.0, 1.0, 1.0, 1.0], cutoff=1) == 0.0
+
+    def test_too_small_tail_rejected(self):
+        with pytest.raises(SimulationError):
+            mser_statistic([1.0, 2.0], cutoff=1)
+
+
+class TestMserCutoff:
+    def test_detects_transient(self):
+        series = series_with_transient(transient=50)
+        cutoff = mser_cutoff(series, batch_size=5)
+        assert 20 <= cutoff <= 80  # near the true 50-sample transient
+
+    def test_stationary_series_keeps_everything(self):
+        rng = random.Random(7)
+        series = [0.5 + rng.gauss(0, 0.05) for _ in range(300)]
+        cutoff = mser_cutoff(series, batch_size=5)
+        assert cutoff <= 60  # no large spurious truncation
+
+    def test_short_series_returns_zero(self):
+        assert mser_cutoff([1.0, 2.0, 3.0], batch_size=5) == 0
+
+    def test_cutoff_capped_by_max_fraction(self):
+        series = series_with_transient(transient=200, steady=100)
+        cutoff = mser_cutoff(series, batch_size=5, max_fraction=0.5)
+        assert cutoff <= len(series) * 0.5
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            mser_cutoff([1.0] * 100, batch_size=0)
+        with pytest.raises(SimulationError):
+            mser_cutoff([1.0] * 100, max_fraction=0.0)
+
+
+class TestTruncate:
+    def test_returns_cutoff_and_tail(self):
+        series = series_with_transient()
+        cutoff, tail = truncate_warmup(series)
+        assert len(tail) == len(series) - cutoff
+        assert tail == series[cutoff:]
+
+    def test_truncated_mean_closer_to_steady_state(self):
+        series = series_with_transient()
+        _, tail = truncate_warmup(series)
+        raw_mean = sum(series) / len(series)
+        tail_mean = sum(tail) / len(tail)
+        assert abs(tail_mean - 0.7) < abs(raw_mean - 0.7)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.dal."""
+
+import pytest
+
+from repro.core.dal import DynamicallyAccumulatedLoadScheduler
+
+from ..conftest import make_state
+
+
+class TestDal:
+    def test_first_pick_prefers_most_powerful(self):
+        state = make_state(heterogeneity=50)
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        # All accumulators zero: cost w/alpha minimized by alpha_1 = 1.
+        assert scheduler.select(0, 0.0) == 0
+
+    def test_accumulates_assigned_weight(self):
+        state = make_state()
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        chosen = scheduler.select(0, 0.0)
+        weight = state.estimator.shares()[0]
+        assert scheduler.accumulated[chosen] == pytest.approx(weight)
+
+    def test_hot_assignment_steers_next_away(self):
+        state = make_state()  # domain 0 carries ~27.8% of the load
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        first = scheduler.select(0, 0.0)
+        second = scheduler.select(0, 1.0)
+        assert second != first
+
+    def test_light_domains_can_reuse_a_server(self):
+        state = make_state()
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        heavy = scheduler.select(0, 0.0)
+        light = scheduler.select(19, 1.0)
+        assert light != heavy  # heavy server now carries 0.278
+
+    def test_long_run_load_proportional_to_capacity(self):
+        state = make_state(heterogeneity=65)
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        for round_index in range(200):
+            for domain in range(20):
+                scheduler.select(domain, float(round_index))
+        alphas = state.relative_capacities
+        normalized = [
+            acc / alpha for acc, alpha in zip(scheduler.accumulated, alphas)
+        ]
+        spread = max(normalized) - min(normalized)
+        assert spread / max(normalized) < 0.05
+
+    def test_respects_alarms(self):
+        state = make_state()
+        state.set_alarm(0.0, 0, True)
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        picks = {scheduler.select(d, 0.0) for d in range(20)}
+        assert 0 not in picks
+
+    def test_all_alarmed_still_selects(self):
+        state = make_state()
+        for server_id in range(7):
+            state.set_alarm(0.0, server_id, True)
+        scheduler = DynamicallyAccumulatedLoadScheduler(state)
+        assert 0 <= scheduler.select(0, 0.0) < 7

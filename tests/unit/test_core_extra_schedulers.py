@@ -1,0 +1,92 @@
+"""Unit tests for the extra schedulers (WRR, LEAST-LOADED)."""
+
+import pytest
+
+from repro.core.genie import LeastBackloggedScheduler
+from repro.core.wrr import SmoothWeightedRoundRobinScheduler
+
+from ..conftest import make_state
+
+
+class TestSmoothWeightedRoundRobin:
+    def test_homogeneous_degenerates_to_round_robin(self):
+        state = make_state(heterogeneity=0)
+        scheduler = SmoothWeightedRoundRobinScheduler(state)
+        picks = [scheduler.select(0, 0.0) for _ in range(14)]
+        assert sorted(picks[:7]) == list(range(7))
+        assert picks[:7] == picks[7:14]  # a stable cycle
+
+    def test_share_proportional_to_capacity(self):
+        state = make_state(heterogeneity=65)  # alphas 1,1,.8,.8,.35x3
+        scheduler = SmoothWeightedRoundRobinScheduler(state)
+        counts = [0] * 7
+        rounds = 10000
+        for _ in range(rounds):
+            counts[scheduler.select(0, 0.0)] += 1
+        total_alpha = sum(state.relative_capacities)
+        for server_id, alpha in enumerate(state.relative_capacities):
+            expected = rounds * alpha / total_alpha
+            assert counts[server_id] == pytest.approx(expected, rel=0.02)
+
+    def test_smoothness_no_immediate_repeat_for_equal_weights(self):
+        state = make_state(heterogeneity=0)
+        scheduler = SmoothWeightedRoundRobinScheduler(state)
+        picks = [scheduler.select(0, 0.0) for _ in range(20)]
+        assert all(a != b for a, b in zip(picks, picks[1:]))
+
+    def test_respects_alarms(self):
+        state = make_state(heterogeneity=65)
+        state.set_alarm(0.0, 0, True)
+        scheduler = SmoothWeightedRoundRobinScheduler(state)
+        picks = {scheduler.select(0, 0.0) for _ in range(50)}
+        assert 0 not in picks
+
+    def test_deterministic(self):
+        def run():
+            scheduler = SmoothWeightedRoundRobinScheduler(
+                make_state(heterogeneity=35)
+            )
+            return [scheduler.select(0, 0.0) for _ in range(30)]
+
+        assert run() == run()
+
+
+class TestLeastBacklogged:
+    def test_picks_emptiest_server(self):
+        state = make_state(heterogeneity=0)
+        scheduler = LeastBackloggedScheduler(state)
+        state.cluster.servers[0].offer(0.0, hits=100, domain_id=0)
+        chosen = scheduler.select(0, 0.0)
+        assert chosen != 0
+
+    def test_capacity_normalized_choice(self):
+        state = make_state(heterogeneity=65)
+        scheduler = LeastBackloggedScheduler(state)
+        # Same queued seconds everywhere except server 0 is empty.
+        for server in state.cluster.servers[1:]:
+            server.offer(0.0, hits=int(server.capacity), domain_id=0)
+        assert scheduler.select(0, 0.0) == 0
+
+    def test_prefers_fast_server_at_equal_backlog_seconds(self):
+        state = make_state(heterogeneity=65)
+        scheduler = LeastBackloggedScheduler(state)
+        for server in state.cluster.servers:
+            server.offer(0.0, hits=int(server.capacity * 2), domain_id=0)
+        # All have 2s of backlog; normalization by alpha favours alpha=1.
+        assert scheduler.select(0, 0.0) in (0, 1)
+
+    def test_respects_alarms(self):
+        state = make_state()
+        state.set_alarm(0.0, 0, True)
+        scheduler = LeastBackloggedScheduler(state)
+        assert scheduler.select(0, 0.0) != 0
+
+    def test_registry_builds_both(self):
+        from repro.core.registry import build_policy
+        from repro.sim.rng import RandomStreams
+
+        state = make_state()
+        for name in ("WRR", "LEAST-LOADED"):
+            scheduler, ttl = build_policy(name, state, RandomStreams(1))
+            assert scheduler.name == name
+            assert 0 <= scheduler.select(0, 0.0) < 7

@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.mrl."""
+
+import pytest
+
+from repro.core.mrl import MinimumResidualLoadScheduler
+
+from ..conftest import make_state
+
+
+class TestMrl:
+    def test_first_pick_prefers_most_powerful(self):
+        state = make_state(heterogeneity=50)
+        scheduler = MinimumResidualLoadScheduler(state)
+        assert scheduler.select(0, 0.0) == 0
+
+    def test_residual_zero_without_leases(self):
+        state = make_state()
+        scheduler = MinimumResidualLoadScheduler(state)
+        assert scheduler.residual_load(0, 0.0) == 0.0
+
+    def test_notify_adds_lease(self):
+        state = make_state()
+        scheduler = MinimumResidualLoadScheduler(state)
+        weight = state.estimator.shares()[0]
+        scheduler.notify_assignment(0, 2, ttl=100.0, now=0.0)
+        assert scheduler.residual_load(2, 0.0) == pytest.approx(weight)
+
+    def test_residual_decays_linearly_over_ttl(self):
+        state = make_state()
+        scheduler = MinimumResidualLoadScheduler(state)
+        weight = state.estimator.shares()[0]
+        scheduler.notify_assignment(0, 2, ttl=100.0, now=0.0)
+        assert scheduler.residual_load(2, 50.0) == pytest.approx(weight / 2)
+        assert scheduler.residual_load(2, 100.0) == 0.0
+
+    def test_expired_leases_forgotten(self):
+        state = make_state()
+        scheduler = MinimumResidualLoadScheduler(state)
+        scheduler.notify_assignment(0, 2, ttl=10.0, now=0.0)
+        scheduler.residual_load(2, 20.0)
+        assert scheduler._leases[2] == type(scheduler._leases[2])()
+
+    def test_mixed_ttl_leases_handled(self):
+        state = make_state()
+        scheduler = MinimumResidualLoadScheduler(state)
+        w = state.estimator.shares()
+        scheduler.notify_assignment(0, 1, ttl=200.0, now=0.0)  # long first
+        scheduler.notify_assignment(1, 1, ttl=10.0, now=0.0)   # short behind
+        residual = scheduler.residual_load(1, 50.0)
+        # The short lease expired even though it sits behind the long one.
+        assert residual == pytest.approx(w[0] * (150 / 200))
+
+    def test_selection_avoids_loaded_server(self):
+        state = make_state(heterogeneity=0)
+        scheduler = MinimumResidualLoadScheduler(state)
+        scheduler.notify_assignment(0, 0, ttl=100.0, now=0.0)
+        assert scheduler.select(1, 1.0) != 0
+
+    def test_load_forgotten_after_expiry_unlike_dal(self):
+        state = make_state(heterogeneity=0)
+        scheduler = MinimumResidualLoadScheduler(state)
+        scheduler.notify_assignment(0, 0, ttl=10.0, now=0.0)
+        # Once the lease expires, server 0 is attractive again.
+        assert scheduler.select(1, 20.0) == 0
+
+    def test_respects_alarms(self):
+        state = make_state()
+        state.set_alarm(0.0, 0, True)
+        scheduler = MinimumResidualLoadScheduler(state)
+        assert scheduler.select(0, 0.0) != 0

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.probabilistic (PRR and PRR2)."""
+
+import random
+
+import pytest
+
+from repro.core.probabilistic import (
+    ProbabilisticRoundRobinScheduler,
+    ProbabilisticTwoTierScheduler,
+)
+
+from ..conftest import make_state
+
+
+class TestPrr:
+    def test_always_selects_valid_server(self):
+        state = make_state(heterogeneity=65)
+        scheduler = ProbabilisticRoundRobinScheduler(state, random.Random(1))
+        for _ in range(500):
+            assert 0 <= scheduler.select(0, 0.0) < 7
+
+    def test_homogeneous_degenerates_to_rr(self):
+        state = make_state(heterogeneity=0)
+        scheduler = ProbabilisticRoundRobinScheduler(state, random.Random(1))
+        picks = [scheduler.select(0, 0.0) for _ in range(14)]
+        assert picks == list(range(7)) * 2  # alpha=1 -> never skipped
+
+    def test_selection_biased_by_capacity(self):
+        state = make_state(heterogeneity=65)  # alphas 1,1,.8,.8,.35,.35,.35
+        scheduler = ProbabilisticRoundRobinScheduler(state, random.Random(7))
+        counts = [0] * 7
+        for _ in range(20000):
+            counts[scheduler.select(0, 0.0)] += 1
+        # Strong servers picked roughly 1/0.35 times as often as weak ones.
+        ratio = counts[0] / counts[6]
+        assert 2.0 < ratio < 4.5
+
+    def test_respects_alarms(self):
+        state = make_state(heterogeneity=65)
+        state.set_alarm(0.0, 0, True)
+        scheduler = ProbabilisticRoundRobinScheduler(state, random.Random(1))
+        picks = {scheduler.select(0, 0.0) for _ in range(200)}
+        assert 0 not in picks
+
+    def test_all_alarmed_still_selects(self):
+        state = make_state(heterogeneity=65)
+        for server_id in range(7):
+            state.set_alarm(0.0, server_id, True)
+        scheduler = ProbabilisticRoundRobinScheduler(state, random.Random(1))
+        assert 0 <= scheduler.select(0, 0.0) < 7
+
+    def test_deterministic_given_rng_seed(self):
+        def run():
+            state = make_state(heterogeneity=35)
+            scheduler = ProbabilisticRoundRobinScheduler(
+                state, random.Random(42)
+            )
+            return [scheduler.select(0, 0.0) for _ in range(50)]
+
+        assert run() == run()
+
+
+class TestPrr2:
+    def test_per_tier_pointers(self):
+        state = make_state(heterogeneity=0)
+        scheduler = ProbabilisticTwoTierScheduler(state, random.Random(1))
+        assert scheduler.select(0, 0.0) == 0   # hot tier
+        assert scheduler.select(10, 0.0) == 0  # normal tier starts fresh
+        assert scheduler.select(1, 0.0) == 1   # hot tier advanced
+
+    def test_capacity_bias_within_tier(self):
+        state = make_state(heterogeneity=65)
+        scheduler = ProbabilisticTwoTierScheduler(state, random.Random(3))
+        counts = [0] * 7
+        for _ in range(20000):
+            counts[scheduler.select(0, 0.0)] += 1
+        assert counts[0] > counts[6]
+
+    def test_valid_selection_under_alarms(self):
+        state = make_state(heterogeneity=65)
+        for server_id in (0, 1, 2):
+            state.set_alarm(0.0, server_id, True)
+        scheduler = ProbabilisticTwoTierScheduler(state, random.Random(1))
+        picks = {scheduler.select(0, 0.0) for _ in range(200)}
+        assert picks <= {3, 4, 5, 6}

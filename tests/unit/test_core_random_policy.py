@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.random_policy."""
+
+import random
+
+from repro.core.random_policy import RandomScheduler, WeightedRandomScheduler
+
+from ..conftest import make_state
+
+
+class TestRandomScheduler:
+    def test_selects_valid_servers(self):
+        scheduler = RandomScheduler(make_state(), random.Random(1))
+        assert all(0 <= scheduler.select(0, 0.0) < 7 for _ in range(200))
+
+    def test_roughly_uniform(self):
+        scheduler = RandomScheduler(make_state(heterogeneity=65), random.Random(2))
+        counts = [0] * 7
+        for _ in range(14000):
+            counts[scheduler.select(0, 0.0)] += 1
+        assert min(counts) > 1500  # ~2000 expected each
+
+    def test_respects_alarms(self):
+        state = make_state()
+        state.set_alarm(0.0, 3, True)
+        scheduler = RandomScheduler(state, random.Random(1))
+        assert all(scheduler.select(0, 0.0) != 3 for _ in range(200))
+
+
+class TestWeightedRandomScheduler:
+    def test_selects_valid_servers(self):
+        scheduler = WeightedRandomScheduler(
+            make_state(heterogeneity=65), random.Random(1)
+        )
+        assert all(0 <= scheduler.select(0, 0.0) < 7 for _ in range(200))
+
+    def test_biased_by_capacity(self):
+        scheduler = WeightedRandomScheduler(
+            make_state(heterogeneity=65), random.Random(2)
+        )
+        counts = [0] * 7
+        for _ in range(20000):
+            counts[scheduler.select(0, 0.0)] += 1
+        ratio = counts[0] / counts[6]
+        assert 2.0 < ratio < 4.0  # alphas 1 vs 0.35 -> ~2.86
+
+    def test_respects_alarms(self):
+        state = make_state(heterogeneity=65)
+        state.set_alarm(0.0, 0, True)
+        scheduler = WeightedRandomScheduler(state, random.Random(1))
+        assert all(scheduler.select(0, 0.0) != 0 for _ in range(200))

@@ -1,0 +1,169 @@
+"""Unit tests for repro.core.registry."""
+
+import pytest
+
+from repro.core.dal import DynamicallyAccumulatedLoadScheduler
+from repro.core.mrl import MinimumResidualLoadScheduler
+from repro.core.probabilistic import (
+    ProbabilisticRoundRobinScheduler,
+    ProbabilisticTwoTierScheduler,
+)
+from repro.core.registry import (
+    PAPER_POLICIES,
+    PolicySpec,
+    available_policies,
+    build_policy,
+    parse_policy_name,
+)
+from repro.core.round_robin import (
+    RoundRobinScheduler,
+    TwoTierRoundRobinScheduler,
+)
+from repro.core.ttl.adaptive import AdaptiveTtlPolicy
+from repro.core.ttl.constant import ConstantTtlPolicy
+from repro.errors import ConfigurationError, UnknownPolicyError
+from repro.sim.rng import RandomStreams
+
+from ..conftest import make_state
+
+
+class TestParsePolicyName:
+    def test_catalogue_names_parse_to_themselves(self):
+        for name, spec in PAPER_POLICIES.items():
+            assert parse_policy_name(name) == spec
+
+    def test_case_insensitive(self):
+        assert parse_policy_name("drr2-ttl/s_k").name == "DRR2-TTL/S_K"
+
+    def test_underscore_optional(self):
+        assert parse_policy_name("DRR2-TTL/SK") == parse_policy_name(
+            "DRR2-TTL/S_K"
+        )
+
+    def test_whitespace_tolerated(self):
+        assert parse_policy_name(" RR ").name == "RR"
+
+    def test_aliases(self):
+        assert parse_policy_name("DRR").selector == "RR"
+        assert parse_policy_name("DRR2").selector == "RR2"
+        assert parse_policy_name("PRR").name == "PRR-TTL/1"
+        assert parse_policy_name("PRR2").name == "PRR2-TTL/1"
+
+    def test_generic_tier_counts(self):
+        spec = parse_policy_name("PRR2-TTL/4")
+        assert spec.selector == "PRR2"
+        assert spec.tiers == 4
+        assert not spec.server_scaled
+        spec = parse_policy_name("DRR-TTL/S_8")
+        assert spec.tiers == 8
+        assert spec.server_scaled
+
+    def test_ideal_flags_uniform_workload(self):
+        spec = parse_policy_name("IDEAL")
+        assert spec.uniform_workload
+        assert spec.selector == "PRR"
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            parse_policy_name("FANCY-POLICY")
+        assert "RR" in str(excinfo.value)
+
+    def test_paper_catalogue_complete(self):
+        expected = {
+            "RR", "RR2", "DAL", "MRL", "IDEAL",
+            "PRR-TTL/1", "PRR2-TTL/1", "PRR-TTL/2", "PRR2-TTL/2",
+            "PRR-TTL/K", "PRR2-TTL/K",
+            "DRR-TTL/S_1", "DRR2-TTL/S_1", "DRR-TTL/S_2", "DRR2-TTL/S_2",
+            "DRR-TTL/S_K", "DRR2-TTL/S_K",
+        }
+        assert set(PAPER_POLICIES) == expected
+
+    def test_available_policies_sorted_and_complete(self):
+        names = available_policies()
+        assert "DRR2-TTL/S_K" in names
+        assert "RANDOM" in names
+        assert len(names) == len(set(names))
+
+
+class TestPolicySpecValidation:
+    def test_bad_selector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec("X", "NOPE")
+
+    def test_bad_tiers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec("X", "RR", tiers=0)
+        with pytest.raises(ConfigurationError):
+            PolicySpec("X", "RR", tiers="Q")
+
+    def test_probabilistic_flag(self):
+        assert PolicySpec("X", "PRR2").probabilistic
+        assert not PolicySpec("X", "RR2").probabilistic
+
+
+class TestBuildPolicy:
+    def build(self, name, heterogeneity=35):
+        state = make_state(heterogeneity=heterogeneity)
+        scheduler, ttl_policy = build_policy(
+            name, state, RandomStreams(1), constant_ttl=240.0
+        )
+        return scheduler, ttl_policy, state
+
+    def test_rr_gets_constant_ttl(self):
+        scheduler, ttl_policy, _ = self.build("RR")
+        assert isinstance(scheduler, RoundRobinScheduler)
+        assert isinstance(ttl_policy, ConstantTtlPolicy)
+        assert ttl_policy.ttl == 240.0
+
+    def test_rr2(self):
+        scheduler, _, _ = self.build("RR2")
+        assert isinstance(scheduler, TwoTierRoundRobinScheduler)
+
+    def test_prr2_ttl_k(self):
+        scheduler, ttl_policy, _ = self.build("PRR2-TTL/K")
+        assert isinstance(scheduler, ProbabilisticTwoTierScheduler)
+        assert isinstance(ttl_policy, AdaptiveTtlPolicy)
+        assert not ttl_policy.scale_by_capacity
+        assert ttl_policy.classifier.class_count == 20
+
+    def test_drr2_ttl_sk(self):
+        scheduler, ttl_policy, _ = self.build("DRR2-TTL/S_K")
+        assert isinstance(scheduler, TwoTierRoundRobinScheduler)
+        assert ttl_policy.scale_by_capacity
+
+    def test_drr_ttl_s1_single_class(self):
+        _, ttl_policy, _ = self.build("DRR-TTL/S_1")
+        assert ttl_policy.classifier.class_count == 1
+
+    def test_prr_ttl_2_two_classes(self):
+        _, ttl_policy, _ = self.build("PRR-TTL/2")
+        assert ttl_policy.classifier.class_count == 2
+
+    def test_generic_tier_count_builds(self):
+        _, ttl_policy, _ = self.build("PRR2-TTL/4")
+        assert ttl_policy.classifier.class_count == 4
+
+    def test_dal_and_mrl(self):
+        scheduler, _, _ = self.build("DAL")
+        assert isinstance(scheduler, DynamicallyAccumulatedLoadScheduler)
+        scheduler, _, _ = self.build("MRL")
+        assert isinstance(scheduler, MinimumResidualLoadScheduler)
+
+    def test_selection_probabilities_match_selector_kind(self):
+        _, det_ttl, state = self.build("DRR2-TTL/S_K")
+        assert det_ttl.selection_probabilities == [1 / 7] * 7
+        _, prob_ttl, state = self.build("PRR2-TTL/K")
+        alphas = state.relative_capacities
+        total = sum(alphas)
+        assert prob_ttl.selection_probabilities == pytest.approx(
+            [a / total for a in alphas]
+        )
+
+    def test_scheduler_name_set_to_spec(self):
+        scheduler, _, _ = self.build("DRR2-TTL/S_K")
+        assert scheduler.name == "DRR2-TTL/S_K"
+
+    def test_ideal_builds_prr(self):
+        scheduler, ttl_policy, _ = self.build("IDEAL")
+        assert isinstance(scheduler, ProbabilisticRoundRobinScheduler)
+        assert isinstance(ttl_policy, ConstantTtlPolicy)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.round_robin (RR and RR2)."""
+
+from repro.core.round_robin import (
+    RoundRobinScheduler,
+    TwoTierRoundRobinScheduler,
+)
+
+from ..conftest import make_state
+
+
+class TestRoundRobin:
+    def test_cycles_through_all_servers(self):
+        state = make_state()
+        scheduler = RoundRobinScheduler(state)
+        picks = [scheduler.select(0, float(t)) for t in range(14)]
+        assert picks == list(range(7)) * 2
+
+    def test_ignores_domain(self):
+        state = make_state()
+        scheduler = RoundRobinScheduler(state)
+        picks = [scheduler.select(domain, 0.0) for domain in (5, 1, 9, 0)]
+        assert picks == [0, 1, 2, 3]
+
+    def test_skips_alarmed_servers(self):
+        state = make_state()
+        state.set_alarm(0.0, 1, True)
+        state.set_alarm(0.0, 2, True)
+        scheduler = RoundRobinScheduler(state)
+        picks = [scheduler.select(0, 0.0) for _ in range(5)]
+        assert picks == [0, 3, 4, 5, 6]
+
+    def test_alarmed_server_rejoins_after_normal_signal(self):
+        state = make_state()
+        scheduler = RoundRobinScheduler(state)
+        state.set_alarm(0.0, 0, True)
+        assert scheduler.select(0, 0.0) == 1
+        state.set_alarm(1.0, 0, False)
+        picks = [scheduler.select(0, 1.0) for _ in range(6)]
+        assert 0 in picks
+
+    def test_all_alarmed_falls_back_to_rotation(self):
+        state = make_state()
+        for server_id in range(7):
+            state.set_alarm(0.0, server_id, True)
+        scheduler = RoundRobinScheduler(state)
+        picks = [scheduler.select(0, 0.0) for _ in range(7)]
+        assert picks == list(range(7))
+
+    def test_assignment_counters(self):
+        state = make_state()
+        scheduler = RoundRobinScheduler(state)
+        for _ in range(3):
+            server = scheduler.select(0, 0.0)
+            scheduler.notify_assignment(0, server, 240.0, 0.0)
+        assert scheduler.assignments == {0: 1, 1: 1, 2: 1}
+
+
+class TestTwoTierRoundRobin:
+    def test_separate_pointers_per_class(self):
+        state = make_state()  # Zipf over 20: domains 0-4 hot, 5-19 normal
+        scheduler = TwoTierRoundRobinScheduler(state)
+        hot_picks = [scheduler.select(0, 0.0), scheduler.select(1, 0.0)]
+        normal_picks = [scheduler.select(10, 0.0), scheduler.select(11, 0.0)]
+        # Both classes start their own rotation from server 0.
+        assert hot_picks == [0, 1]
+        assert normal_picks == [0, 1]
+
+    def test_hot_requests_rotate_independently_of_normal(self):
+        state = make_state()
+        scheduler = TwoTierRoundRobinScheduler(state)
+        for _ in range(3):
+            scheduler.select(10, 0.0)  # normal traffic advances tier 1
+        assert scheduler.select(0, 0.0) == 0  # hot tier still at the start
+
+    def test_consecutive_hot_domains_spread(self):
+        state = make_state()
+        scheduler = TwoTierRoundRobinScheduler(state)
+        picks = [scheduler.select(domain, 0.0) for domain in (0, 1, 2, 3, 4)]
+        assert picks == [0, 1, 2, 3, 4]  # never the same server twice
+
+    def test_skips_alarmed(self):
+        state = make_state()
+        state.set_alarm(0.0, 0, True)
+        scheduler = TwoTierRoundRobinScheduler(state)
+        assert scheduler.select(0, 0.0) == 1
+        assert scheduler.select(10, 0.0) == 1
+
+    def test_custom_classifier_supported(self):
+        from repro.core.classes import PerDomainClassifier
+
+        state = make_state(domain_count=3)
+        scheduler = TwoTierRoundRobinScheduler(
+            state, classifier=PerDomainClassifier(state.estimator)
+        )
+        # Every domain has its own pointer now.
+        assert scheduler.select(0, 0.0) == 0
+        assert scheduler.select(1, 0.0) == 0
+        assert scheduler.select(2, 0.0) == 0
+        assert scheduler.select(0, 0.0) == 1

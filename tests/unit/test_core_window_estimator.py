@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.estimator.SlidingWindowEstimator."""
+
+import pytest
+
+from repro.core.estimator import SlidingWindowEstimator
+from repro.errors import ConfigurationError
+from repro.web.server import WebServer
+
+
+def make(env, servers=None, **kwargs):
+    servers = servers if servers is not None else [WebServer(0, 100.0)]
+    defaults = dict(domain_count=3, interval=10.0, window_intervals=2)
+    defaults.update(kwargs)
+    return SlidingWindowEstimator(env, servers, **defaults), servers
+
+
+class TestSlidingWindowEstimator:
+    def test_prior_until_first_traffic(self, env):
+        estimator, _ = make(env)
+        assert estimator.shares() == pytest.approx([1 / 3] * 3)
+        env.run(until=30.0)  # empty collections
+        assert estimator.shares() == pytest.approx([1 / 3] * 3)
+
+    def test_custom_prior(self, env):
+        estimator, _ = make(env, prior=[3.0, 1.0, 0.0 + 1.0])
+        assert estimator.shares() == pytest.approx([0.6, 0.2, 0.2])
+
+    def test_shares_track_window_traffic(self, env):
+        estimator, servers = make(env)
+        servers[0].offer(0.0, hits=80, domain_id=0)
+        servers[0].offer(0.0, hits=20, domain_id=1)
+        env.run(until=10.0)
+        shares = estimator.shares()
+        assert shares[0] == pytest.approx(0.8, abs=1e-6)
+        assert shares[1] == pytest.approx(0.2, abs=1e-6)
+
+    def test_old_intervals_forgotten(self, env):
+        estimator, servers = make(env, window_intervals=2)
+
+        def workload():
+            servers[0].offer(env.now, hits=100, domain_id=0)
+            yield env.timeout(10.0)  # collection 1: all domain 0
+            servers[0].offer(env.now, hits=100, domain_id=1)
+            yield env.timeout(10.0)  # collection 2: all domain 1
+            servers[0].offer(env.now, hits=100, domain_id=1)
+            yield env.timeout(10.0)  # collection 3: domain 0 falls out
+
+        env.process(workload())
+        env.run(until=30.0)
+        shares = estimator.shares()
+        # Window now holds two all-domain-1 intervals.
+        assert shares[1] > 0.99
+        assert shares[0] < 0.01
+
+    def test_version_bumps_every_collection(self, env):
+        estimator, servers = make(env)
+        servers[0].offer(0.0, hits=10, domain_id=0)
+        env.run(until=30.0)
+        assert estimator.version == 3
+        assert estimator.collections == 3
+
+    def test_shares_always_normalized(self, env):
+        estimator, servers = make(env)
+        servers[0].offer(0.0, hits=7, domain_id=2)
+        env.run(until=20.0)
+        assert sum(estimator.shares()) == pytest.approx(1.0)
+        assert all(s > 0 for s in estimator.shares())
+
+    def test_aggregates_across_servers(self, env):
+        servers = [WebServer(0, 100.0), WebServer(1, 100.0)]
+        estimator, _ = make(env, servers=servers)
+        servers[0].offer(0.0, hits=25, domain_id=0)
+        servers[1].offer(0.0, hits=75, domain_id=2)
+        env.run(until=10.0)
+        shares = estimator.shares()
+        assert shares[2] == pytest.approx(0.75, abs=1e-6)
+
+    def test_validation(self, env):
+        with pytest.raises(ConfigurationError):
+            make(env, domain_count=0)
+        with pytest.raises(ConfigurationError):
+            make(env, interval=0.0)
+        with pytest.raises(ConfigurationError):
+            make(env, window_intervals=0)
+        with pytest.raises(ConfigurationError):
+            make(env, prior=[1.0])

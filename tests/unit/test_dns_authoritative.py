@@ -1,0 +1,68 @@
+"""Unit tests for repro.dns.authoritative."""
+
+from repro.dns.authoritative import AuthoritativeDns
+
+
+class StubScheduler:
+    """Cycles servers 0, 1, 2, ... and records notify hooks."""
+
+    def __init__(self):
+        self.next_server = 0
+        self.notified = []
+
+    def select(self, domain_id, now):
+        chosen = self.next_server
+        self.next_server += 1
+        return chosen
+
+    def notify_assignment(self, domain_id, server_id, ttl, now):
+        self.notified.append((domain_id, server_id, ttl, now))
+
+
+class StubTtlPolicy:
+    def __init__(self, ttl=240.0):
+        self.ttl = ttl
+
+    def ttl_for(self, domain_id, server_id, now):
+        return self.ttl + domain_id  # domain-dependent for the tests
+
+
+class TestAuthoritativeDns:
+    def test_resolve_combines_scheduler_and_ttl_policy(self):
+        dns = AuthoritativeDns(StubScheduler(), StubTtlPolicy(100.0))
+        record = dns.resolve(domain_id=5, now=12.0)
+        assert record.server_id == 0
+        assert record.ttl == 105.0
+        assert record.issued_at == 12.0
+
+    def test_notify_assignment_hook_invoked(self):
+        scheduler = StubScheduler()
+        dns = AuthoritativeDns(scheduler, StubTtlPolicy(100.0))
+        dns.resolve(domain_id=2, now=1.0)
+        assert scheduler.notified == [(2, 0, 102.0, 1.0)]
+
+    def test_scheduler_without_hook_is_fine(self):
+        class MinimalScheduler:
+            def select(self, domain_id, now):
+                return 4
+
+        dns = AuthoritativeDns(MinimalScheduler(), StubTtlPolicy())
+        assert dns.resolve(0, 0.0).server_id == 4
+
+    def test_stats_accumulate(self):
+        dns = AuthoritativeDns(StubScheduler(), StubTtlPolicy(100.0))
+        dns.resolve(0, 0.0)
+        dns.resolve(0, 1.0)
+        dns.resolve(3, 2.0)
+        assert dns.stats.resolutions == 3
+        assert dns.stats.per_domain == {0: 2, 3: 1}
+        assert dns.stats.per_server == {0: 1, 1: 1, 2: 1}
+        assert dns.stats.ttl.count == 3
+        assert dns.stats.ttl.mean == (100.0 + 100.0 + 103.0) / 3
+
+    def test_address_request_rate(self):
+        dns = AuthoritativeDns(StubScheduler(), StubTtlPolicy())
+        for t in range(10):
+            dns.resolve(0, float(t))
+        assert dns.address_request_rate(100.0) == 0.1
+        assert dns.address_request_rate(0.0) == 0.0

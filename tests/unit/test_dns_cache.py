@@ -1,0 +1,86 @@
+"""Unit tests for repro.dns.cache."""
+
+import pytest
+
+from repro.dns.cache import TtlCache
+from repro.errors import ConfigurationError
+
+
+class TestTtlCache:
+    def test_miss_on_empty(self):
+        cache = TtlCache()
+        assert cache.get("www", 0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_hit_within_ttl(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        assert cache.get("www", 9.999) == "value"
+        assert cache.stats.hits == 1
+
+    def test_expiry_at_ttl_boundary(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        assert cache.get("www", 10.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_expired_entry_is_removed(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        cache.get("www", 20.0)
+        assert "www" not in cache
+        assert len(cache) == 0
+
+    def test_negative_ttl_rejected(self):
+        cache = TtlCache()
+        with pytest.raises(ConfigurationError):
+            cache.put("www", "value", ttl=-1.0, now=0.0)
+
+    def test_zero_ttl_entry_is_immediately_stale(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=0.0, now=5.0)
+        assert cache.get("www", 5.0) is None
+
+    def test_overwrite_refreshes_expiry(self):
+        cache = TtlCache()
+        cache.put("www", "old", ttl=10.0, now=0.0)
+        cache.put("www", "new", ttl=10.0, now=8.0)
+        assert cache.get("www", 15.0) == "new"
+
+    def test_invalidate(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        assert cache.invalidate("www") is True
+        assert cache.invalidate("www") is False
+        assert cache.get("www", 1.0) is None
+
+    def test_expires_at(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=2.0)
+        assert cache.expires_at("www") == 12.0
+        assert cache.expires_at("missing") is None
+
+    def test_purge_expired(self):
+        cache = TtlCache()
+        cache.put("a", 1, ttl=5.0, now=0.0)
+        cache.put("b", 2, ttl=50.0, now=0.0)
+        removed = cache.purge_expired(10.0)
+        assert removed == 1
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_hit_ratio(self):
+        cache = TtlCache()
+        assert cache.stats.hit_ratio == 0.0
+        cache.put("www", "v", ttl=100.0, now=0.0)
+        cache.get("www", 1.0)
+        cache.get("nope", 1.0)
+        assert cache.stats.hit_ratio == 0.5
+        assert cache.stats.lookups == 2
+
+    def test_multiple_keys_independent(self):
+        cache = TtlCache()
+        cache.put("a", 1, ttl=5.0, now=0.0)
+        cache.put("b", 2, ttl=15.0, now=0.0)
+        assert cache.get("a", 10.0) is None
+        assert cache.get("b", 10.0) == 2

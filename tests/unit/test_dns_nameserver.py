@@ -1,0 +1,113 @@
+"""Unit tests for repro.dns.nameserver."""
+
+import pytest
+
+from repro.dns.nameserver import LocalNameServer
+from repro.dns.records import AddressRecord
+from repro.errors import ConfigurationError
+
+
+def make_upstream(server_id=0, ttl=240.0):
+    """An upstream resolver stub that counts invocations."""
+    calls = []
+
+    def upstream(domain_id, now):
+        calls.append((domain_id, now))
+        return AddressRecord(server_id=server_id, ttl=ttl, issued_at=now)
+
+    upstream.calls = calls
+    return upstream
+
+
+class TestResolution:
+    def test_first_resolution_goes_upstream(self):
+        upstream = make_upstream()
+        ns = LocalNameServer(domain_id=3, upstream=upstream)
+        record, from_cache = ns.resolve(0.0)
+        assert not from_cache
+        assert upstream.calls == [(3, 0.0)]
+        assert record.server_id == 0
+
+    def test_second_resolution_served_from_cache(self):
+        upstream = make_upstream(ttl=100.0)
+        ns = LocalNameServer(domain_id=0, upstream=upstream)
+        ns.resolve(0.0)
+        record, from_cache = ns.resolve(50.0)
+        assert from_cache
+        assert len(upstream.calls) == 1
+
+    def test_expired_mapping_re_resolves(self):
+        upstream = make_upstream(ttl=100.0)
+        ns = LocalNameServer(domain_id=0, upstream=upstream)
+        ns.resolve(0.0)
+        _, from_cache = ns.resolve(100.0)
+        assert not from_cache
+        assert len(upstream.calls) == 2
+
+    def test_cache_validity_uses_effective_ttl(self):
+        upstream = make_upstream(ttl=10.0)
+        ns = LocalNameServer(
+            domain_id=0, upstream=upstream, min_accepted_ttl=60.0
+        )
+        ns.resolve(0.0)
+        _, from_cache = ns.resolve(30.0)  # beyond recommended, within clamp
+        assert from_cache
+
+
+class TestNonCooperativeBehaviour:
+    def test_cooperative_ns_accepts_any_ttl(self):
+        ns = LocalNameServer(domain_id=0, upstream=make_upstream())
+        assert ns.effective_ttl(0.5) == 0.5
+
+    def test_clamp_mode_imposes_own_minimum(self):
+        ns = LocalNameServer(
+            domain_id=0,
+            upstream=make_upstream(),
+            min_accepted_ttl=120.0,
+            override_mode="clamp",
+        )
+        assert ns.effective_ttl(43.0) == 120.0
+        assert ns.effective_ttl(120.0) == 120.0
+        assert ns.effective_ttl(200.0) == 200.0
+
+    def test_default_mode_substitutes_default_ttl(self):
+        ns = LocalNameServer(
+            domain_id=0,
+            upstream=make_upstream(),
+            min_accepted_ttl=120.0,
+            default_ttl=240.0,
+            override_mode="default",
+        )
+        assert ns.effective_ttl(43.0) == 240.0
+        assert ns.effective_ttl(150.0) == 150.0
+
+    def test_override_counter_increments(self):
+        upstream = make_upstream(ttl=30.0)
+        ns = LocalNameServer(
+            domain_id=0, upstream=upstream, min_accepted_ttl=120.0
+        )
+        record, _ = ns.resolve(0.0)
+        assert ns.overridden_ttls == 1
+        assert record.ttl == 120.0
+
+    def test_no_override_counted_for_large_ttl(self):
+        upstream = make_upstream(ttl=300.0)
+        ns = LocalNameServer(
+            domain_id=0, upstream=upstream, min_accepted_ttl=120.0
+        )
+        ns.resolve(0.0)
+        assert ns.overridden_ttls == 0
+
+
+class TestValidation:
+    def test_negative_min_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalNameServer(0, make_upstream(), min_accepted_ttl=-1.0)
+
+    def test_nonpositive_default_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalNameServer(0, make_upstream(), default_ttl=0.0)
+
+    def test_unknown_override_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalNameServer(0, make_upstream(), override_mode="ignore")

@@ -1,0 +1,41 @@
+"""Unit tests for repro.dns.records."""
+
+import pytest
+
+from repro.dns.records import AddressRecord
+from repro.errors import ConfigurationError
+
+
+class TestAddressRecord:
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressRecord(server_id=0, ttl=-1.0, issued_at=0.0)
+
+    def test_expiry_time(self):
+        record = AddressRecord(server_id=2, ttl=240.0, issued_at=100.0)
+        assert record.expires_at == 340.0
+
+    def test_validity_window(self):
+        record = AddressRecord(server_id=0, ttl=10.0, issued_at=5.0)
+        assert record.is_valid(5.0)
+        assert record.is_valid(14.999)
+        assert not record.is_valid(15.0)
+        assert not record.is_valid(20.0)
+
+    def test_zero_ttl_immediately_invalid(self):
+        record = AddressRecord(server_id=0, ttl=0.0, issued_at=5.0)
+        assert not record.is_valid(5.0)
+
+    def test_with_ttl_rewrites_only_ttl(self):
+        record = AddressRecord(server_id=3, ttl=10.0, issued_at=7.0)
+        rewritten = record.with_ttl(60.0)
+        assert rewritten.server_id == 3
+        assert rewritten.issued_at == 7.0
+        assert rewritten.ttl == 60.0
+        assert record.ttl == 10.0  # original untouched
+
+    def test_records_are_hashable_value_objects(self):
+        a = AddressRecord(1, 2.0, 3.0)
+        b = AddressRecord(1, 2.0, 3.0)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.dns.resolver."""
+
+import pytest
+
+from repro.dns.authoritative import AuthoritativeDns
+from repro.dns.resolver import ResolutionChain
+from repro.errors import ConfigurationError
+
+
+class RoundRobinStub:
+    def __init__(self):
+        self.counter = -1
+
+    def select(self, domain_id, now):
+        self.counter += 1
+        return self.counter % 7
+
+
+class FixedTtl:
+    def __init__(self, ttl):
+        self.ttl = ttl
+
+    def ttl_for(self, domain_id, server_id, now):
+        return self.ttl
+
+
+def make_chain(domain_count=4, ttl=100.0, **kwargs):
+    dns = AuthoritativeDns(RoundRobinStub(), FixedTtl(ttl))
+    return ResolutionChain(dns, domain_count, **kwargs)
+
+
+class TestResolutionChain:
+    def test_requires_domains(self):
+        dns = AuthoritativeDns(RoundRobinStub(), FixedTtl(1.0))
+        with pytest.raises(ConfigurationError):
+            ResolutionChain(dns, 0)
+
+    def test_one_nameserver_per_domain(self):
+        chain = make_chain(domain_count=5)
+        assert len(chain.nameservers) == 5
+        assert [ns.domain_id for ns in chain.nameservers] == list(range(5))
+
+    def test_first_resolution_authoritative(self):
+        chain = make_chain()
+        chain.resolve(0, 0.0)
+        assert chain.authoritative_answers == 1
+        assert chain.cache_answers == 0
+
+    def test_repeat_within_ttl_cached(self):
+        chain = make_chain(ttl=100.0)
+        chain.resolve(0, 0.0)
+        chain.resolve(0, 50.0)
+        assert chain.authoritative_answers == 1
+        assert chain.cache_answers == 1
+
+    def test_domains_have_independent_caches(self):
+        chain = make_chain(ttl=100.0)
+        first = chain.resolve(0, 0.0)
+        second = chain.resolve(1, 0.0)
+        assert chain.authoritative_answers == 2
+        # The round-robin stub hands out different servers per query.
+        assert first.server_id != second.server_id
+
+    def test_dns_control_fraction(self):
+        chain = make_chain(ttl=100.0)
+        assert chain.dns_control_fraction == 0.0
+        chain.resolve(0, 0.0)
+        chain.resolve(0, 10.0)
+        chain.resolve(0, 20.0)
+        assert chain.dns_control_fraction == pytest.approx(1 / 3)
+
+    def test_ttl_override_counts(self):
+        chain = make_chain(ttl=30.0, min_accepted_ttl=60.0)
+        chain.resolve(0, 0.0)
+        chain.resolve(1, 0.0)
+        counts = chain.ttl_override_counts()
+        assert counts[0] == 1
+        assert counts[1] == 1
+        assert counts[2] == 0
+
+    def test_override_mode_propagates(self):
+        chain = make_chain(
+            ttl=30.0, min_accepted_ttl=60.0, override_mode="default",
+            default_ttl=240.0,
+        )
+        record = chain.resolve(0, 0.0)
+        assert record.ttl == 240.0
+        clamped = make_chain(ttl=30.0, min_accepted_ttl=60.0)
+        assert clamped.resolve(0, 0.0).ttl == 60.0
+
+
+class TestMultipleNameserversPerDomain:
+    def test_validation(self):
+        dns = AuthoritativeDns(RoundRobinStub(), FixedTtl(1.0))
+        with pytest.raises(ConfigurationError):
+            ResolutionChain(dns, 4, nameservers_per_domain=0)
+
+    def test_flat_list_covers_all(self):
+        chain = make_chain(domain_count=3, nameservers_per_domain=2)
+        assert len(chain.nameservers) == 6
+        assert [ns.domain_id for ns in chain.nameservers] == [0, 0, 1, 1, 2, 2]
+
+    def test_clients_partitioned_across_ns_set(self):
+        chain = make_chain(domain_count=2, nameservers_per_domain=2)
+        assert chain.nameserver_for(0, client_id=0) is not chain.nameserver_for(
+            0, client_id=1
+        )
+        assert chain.nameserver_for(0, client_id=0) is chain.nameserver_for(
+            0, client_id=2
+        )
+
+    def test_split_caches_increase_authoritative_traffic(self):
+        single = make_chain(domain_count=1, ttl=100.0)
+        single.resolve(0, 0.0, client_id=0)
+        single.resolve(0, 1.0, client_id=1)
+        assert single.authoritative_answers == 1
+
+        split = make_chain(
+            domain_count=1, ttl=100.0, nameservers_per_domain=2
+        )
+        split.resolve(0, 0.0, client_id=0)
+        split.resolve(0, 1.0, client_id=1)  # other NS: cold cache
+        assert split.authoritative_answers == 2
+
+    def test_override_counts_summed_per_domain(self):
+        chain = make_chain(
+            domain_count=2, ttl=30.0, min_accepted_ttl=60.0,
+            nameservers_per_domain=2,
+        )
+        chain.resolve(0, 0.0, client_id=0)
+        chain.resolve(0, 0.0, client_id=1)
+        counts = chain.ttl_override_counts()
+        assert counts[0] == 2
+        assert counts[1] == 0

@@ -1,0 +1,98 @@
+"""Unit tests for repro.experiments.metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.metrics import (
+    MaxUtilizationCollector,
+    OVERLOAD_THRESHOLD,
+    SimulationResult,
+)
+
+
+def make_result(samples, policy="RR"):
+    return SimulationResult(
+        policy=policy,
+        max_utilization_samples=list(samples),
+        mean_utilization_per_server=[0.6, 0.7],
+        dns_resolutions=100,
+        address_request_rate=0.08,
+        dns_resolution_fraction=0.5,
+        dns_control_fraction=0.03,
+        mean_granted_ttl=240.0,
+        alarm_signals=2,
+        ns_ttl_overrides=0,
+        total_hits=10000,
+        total_sessions=50,
+        duration=3600.0,
+    )
+
+
+class TestCollector:
+    def test_records_max_of_vector(self):
+        collector = MaxUtilizationCollector(server_count=3)
+        collector.sink(8.0, [0.2, 0.9, 0.5])
+        collector.sink(16.0, [0.4, 0.1, 0.3])
+        assert collector.max_samples == [0.9, 0.4]
+
+    def test_per_server_streams(self):
+        collector = MaxUtilizationCollector(server_count=2)
+        collector.sink(8.0, [0.2, 0.8])
+        collector.sink(16.0, [0.4, 0.6])
+        assert collector.per_server[0].mean == pytest.approx(0.3)
+        assert collector.per_server[1].mean == pytest.approx(0.7)
+
+    def test_warmup_discards_early_samples(self):
+        collector = MaxUtilizationCollector(server_count=1, warmup=10.0)
+        collector.sink(8.0, [0.9])
+        collector.sink(10.0, [0.8])
+        collector.sink(16.0, [0.5])
+        assert collector.max_samples == [0.5]
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            MaxUtilizationCollector(server_count=1, warmup=-1.0)
+
+    def test_cdf_accessor(self):
+        collector = MaxUtilizationCollector(server_count=1)
+        collector.sink(8.0, [0.5])
+        assert collector.cdf().probability_below(0.6) == 1.0
+
+
+class TestSimulationResult:
+    def test_prob_max_below_default_threshold(self):
+        result = make_result([0.5, 0.95, 0.99, 1.0])
+        assert OVERLOAD_THRESHOLD == 0.98
+        assert result.prob_max_below() == 0.5
+
+    def test_prob_max_below_custom(self):
+        result = make_result([0.5, 0.95, 0.99, 1.0])
+        assert result.prob_max_below(0.9) == 0.25
+
+    def test_cumulative_frequency_curve(self):
+        result = make_result([0.5, 0.7, 0.9])
+        curve = result.cumulative_frequency([0.6, 0.8, 1.0])
+        assert curve == [(0.6, pytest.approx(1 / 3)),
+                         (0.8, pytest.approx(2 / 3)),
+                         (1.0, pytest.approx(1.0))]
+
+    def test_mean_max_utilization(self):
+        result = make_result([0.4, 0.6])
+        assert result.mean_max_utilization == pytest.approx(0.5)
+
+    def test_mean_max_no_samples_raises(self):
+        with pytest.raises(SimulationError):
+            make_result([]).mean_max_utilization
+
+    def test_confidence_interval_shape(self):
+        result = make_result([0.5 + 0.001 * i for i in range(200)])
+        mean, half = result.confidence_interval()
+        assert half >= 0.0
+        assert 0.5 < mean < 0.7
+
+    def test_summary_keys(self):
+        summary = make_result([0.5]).summary()
+        assert summary["policy"] == "RR"
+        assert "prob_max_below_098" in summary
+        assert "dns_control_fraction" in summary
+        assert summary["samples"] == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the geographic extension (repro.geo)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.placement import GeographicLayout
+from repro.geo.scheduler import ProximityScheduler
+
+from ..conftest import make_state
+
+
+def simple_layout(base_rtt=0.0, rtt_per_unit=1.0):
+    """Two servers at x=0 and x=1; three domains along the segment."""
+    return GeographicLayout(
+        server_positions=[(0.0, 0.0), (1.0, 0.0)],
+        domain_positions=[(0.1, 0.0), (0.9, 0.0), (0.5, 0.0)],
+        base_rtt=base_rtt,
+        rtt_per_unit=rtt_per_unit,
+    )
+
+
+class TestGeographicLayout:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeographicLayout([], [(0, 0)])
+        with pytest.raises(ConfigurationError):
+            GeographicLayout([(0, 0)], [])
+        with pytest.raises(ConfigurationError):
+            GeographicLayout([(0, 0)], [(0, 0)], base_rtt=-1.0)
+
+    def test_rtt_is_base_plus_distance(self):
+        layout = simple_layout(base_rtt=0.005, rtt_per_unit=0.1)
+        assert layout.rtt(0, 0) == pytest.approx(0.005 + 0.1 * 0.1)
+        assert layout.rtt(0, 1) == pytest.approx(0.005 + 0.1 * 0.9)
+
+    def test_nearest_server(self):
+        layout = simple_layout()
+        assert layout.nearest_server(0) == 0
+        assert layout.nearest_server(1) == 1
+
+    def test_servers_by_rtt_sorted(self):
+        layout = simple_layout()
+        order = layout.servers_by_rtt(0)
+        rtts = [layout.rtt(0, s) for s in order]
+        assert rtts == sorted(rtts)
+
+    def test_mean_rtt(self):
+        layout = simple_layout(base_rtt=0.0, rtt_per_unit=1.0)
+        assert layout.mean_rtt(2) == pytest.approx(0.5)
+
+    def test_random_layout_deterministic(self):
+        a = GeographicLayout.random(5, 3, seed=9)
+        b = GeographicLayout.random(5, 3, seed=9)
+        assert a.server_positions == b.server_positions
+        assert a.domain_positions == b.domain_positions
+
+    def test_random_layout_seed_sensitivity(self):
+        a = GeographicLayout.random(5, 3, seed=9)
+        b = GeographicLayout.random(5, 3, seed=10)
+        assert a.domain_positions != b.domain_positions
+
+    def test_clustered_layout_positions_in_unit_square(self):
+        layout = GeographicLayout.clustered(40, 7, seed=4)
+        for x, y in layout.domain_positions + layout.server_positions:
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_counts(self):
+        layout = GeographicLayout.random(11, 4, seed=1)
+        assert layout.domain_count == 11
+        assert layout.server_count == 4
+
+
+class TestProximityScheduler:
+    def make(self, slack=1.0, heterogeneity=0):
+        state = make_state(heterogeneity=heterogeneity, domain_count=3)
+        layout = GeographicLayout(
+            server_positions=[(i / 6, 0.0) for i in range(7)],
+            domain_positions=[(0.0, 0.0), (1.0, 0.0), (0.5, 0.0)],
+            base_rtt=0.05,  # nonzero floor so slack sets are non-trivial
+            rtt_per_unit=1.0,
+        )
+        return ProximityScheduler(state, layout, slack=slack), state
+
+    def test_layout_size_must_match(self):
+        state = make_state()
+        layout = GeographicLayout.random(20, 3, seed=1)
+        with pytest.raises(ConfigurationError):
+            ProximityScheduler(state, layout)
+
+    def test_slack_validation(self):
+        state = make_state(domain_count=3)
+        layout = GeographicLayout.random(3, 7, seed=1)
+        with pytest.raises(ConfigurationError):
+            ProximityScheduler(state, layout, slack=0.5)
+
+    def test_pure_proximity_picks_nearest(self):
+        scheduler, _ = self.make(slack=1.0)
+        assert scheduler.select(0, 0.0) == 0  # domain at x=0
+        assert scheduler.select(1, 0.0) == 6  # domain at x=1
+
+    def test_alarmed_nearest_skipped(self):
+        scheduler, state = self.make(slack=1.0)
+        state.set_alarm(0.0, 0, True)
+        assert scheduler.select(0, 0.0) == 1  # next nearest
+
+    def test_slack_spreads_over_candidates(self):
+        scheduler, _ = self.make(slack=5.0)
+        picks = {scheduler.select(2, 0.0) for _ in range(20)}
+        assert len(picks) > 1  # middle domain alternates within slack set
+
+    def test_selection_deterministic(self):
+        def run():
+            scheduler, _ = self.make(slack=2.0)
+            return [scheduler.select(2, 0.0) for _ in range(10)]
+
+        assert run() == run()
+
+    def test_registry_requires_layout(self):
+        from repro.core.registry import build_policy
+        from repro.sim.rng import RandomStreams
+
+        state = make_state()
+        with pytest.raises(ConfigurationError):
+            build_policy("PROXIMITY", state, RandomStreams(1))
+
+    def test_registry_builds_with_layout(self):
+        from repro.core.registry import build_policy
+        from repro.sim.rng import RandomStreams
+
+        state = make_state(domain_count=20)
+        state.layout = GeographicLayout.random(20, 7, seed=1)
+        for name, slack in (("PROXIMITY", 1.0), ("GEO-HYBRID", 2.0)):
+            scheduler, _ = build_policy(name, state, RandomStreams(1))
+            assert isinstance(scheduler, ProximityScheduler)
+            assert scheduler.slack == slack

@@ -1,0 +1,74 @@
+"""Unit tests for GridResult pivot logic (synthetic cells, no simulation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.grid import GridResult
+
+from .test_experiments_metrics import make_result
+
+
+def synthetic_grid():
+    grid = GridResult(parameters=["policy", "level"])
+    for policy, level, samples in [
+        ("RR", 20, [1.0, 1.0]),
+        ("RR", 50, [1.0, 0.5]),
+        ("ADAPTIVE", 20, [0.5, 0.5]),
+        ("ADAPTIVE", 50, [0.5, 0.9]),
+    ]:
+        grid.cells.append(
+            ({"policy": policy, "level": level}, make_result(samples))
+        )
+    return grid
+
+
+class TestPivot:
+    def test_axis_values_sorted(self):
+        rows, cols, _ = synthetic_grid().pivot("policy", "level")
+        assert rows == ["ADAPTIVE", "RR"]
+        assert cols == [20, 50]
+
+    def test_metric_values(self):
+        _, _, matrix = synthetic_grid().pivot("policy", "level")
+        # Default metric: P(max < 0.98). ADAPTIVE/20: both 0.5 -> 1.0.
+        assert matrix[0][0] == 1.0
+        # RR/20: both samples 1.0 -> 0.0.
+        assert matrix[1][0] == 0.0
+        # RR/50: one of two below -> 0.5.
+        assert matrix[1][1] == 0.5
+
+    def test_custom_metric(self):
+        _, _, matrix = synthetic_grid().pivot(
+            "policy", "level", metric=lambda r: r.mean_max_utilization
+        )
+        assert matrix[1][0] == pytest.approx(1.0)
+
+    def test_transposed_pivot(self):
+        rows, cols, matrix = synthetic_grid().pivot("level", "policy")
+        assert rows == [20, 50]
+        assert cols == ["ADAPTIVE", "RR"]
+        assert matrix[0][0] == 1.0
+
+    def test_pivot_table_text(self):
+        text = synthetic_grid().pivot_table("policy", "level")
+        assert "policy\\level" in text
+        assert "ADAPTIVE" in text
+        assert "0.500" in text
+
+    def test_csv_long_format(self):
+        csv_text = synthetic_grid().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "policy,level,metric"
+        assert len(lines) == 5
+        assert lines[1].startswith("RR,20,")
+
+    def test_value_exact_match(self):
+        grid = synthetic_grid()
+        assert grid.value(policy="RR", level=50) == 0.5
+
+    def test_value_no_match_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_grid().value(policy="MISSING", level=50)
+
+    def test_len(self):
+        assert len(synthetic_grid()) == 4

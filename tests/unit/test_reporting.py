@@ -1,0 +1,87 @@
+"""Unit tests for repro.experiments.reporting."""
+
+from repro.experiments.figures import FigureResult, Series
+from repro.experiments.reporting import (
+    figure_to_csv,
+    format_table,
+    render_comparison,
+    render_figure,
+    render_result,
+)
+
+from .test_experiments_metrics import make_result
+
+
+def make_figure():
+    return FigureResult(
+        figure_id="figX",
+        title="Test figure",
+        x_label="x",
+        y_label="P",
+        series=[
+            Series("A", [0.0, 1.0], [0.1, 0.2]),
+            Series("B", [0.0, 1.0], [0.3, 0.4]),
+        ],
+        notes="test notes",
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col ")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "bbbb" in lines[3]
+
+    def test_values_stringified(self):
+        text = format_table(["v"], [[1.5], [None]])
+        assert "1.5" in text
+        assert "None" in text
+
+
+class TestRenderFigure:
+    def test_contains_title_series_and_values(self):
+        text = render_figure(make_figure())
+        assert "figX: Test figure" in text
+        assert "A" in text and "B" in text
+        assert "0.100" in text
+        assert "0.400" in text
+        assert "test notes" in text
+
+    def test_precision(self):
+        text = render_figure(make_figure(), precision=1)
+        assert "0.1" in text
+
+
+class TestFigureToCsv:
+    def test_header_and_rows(self):
+        csv_text = figure_to_csv(make_figure())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,A,B"
+        assert lines[1].startswith("0,0.1")
+        assert len(lines) == 3
+
+    def test_quoting(self):
+        figure = make_figure()
+        figure.series[0].label = 'has,comma"q'
+        csv_text = figure_to_csv(figure)
+        assert '"has,comma""q"' in csv_text
+
+
+class TestResultRendering:
+    def test_render_result_lists_metrics(self):
+        text = render_result(make_result([0.5, 0.9]))
+        assert "prob_max_below_098" in text
+        assert "mean utilization per server" in text
+        assert "S1=" in text
+
+    def test_render_comparison_one_row_per_policy(self):
+        results = {
+            "RR": make_result([0.5], policy="RR"),
+            "DAL": make_result([0.7], policy="DAL"),
+        }
+        text = render_comparison(results)
+        assert "RR" in text and "DAL" in text
+        assert "P(max<0.98)" in text

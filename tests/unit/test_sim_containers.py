@@ -1,0 +1,134 @@
+"""Unit tests for repro.sim.containers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.containers import Container, PriorityResource
+
+
+class TestContainer:
+    def test_validation(self, env):
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, init=11)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, init=-1)
+
+    def test_initial_level(self, env):
+        assert Container(env, capacity=10, init=3).level == 3.0
+
+    def test_put_and_get_immediate(self, env):
+        container = Container(env, capacity=10)
+        put = container.put(4.0)
+        assert put.triggered
+        assert container.level == 4.0
+        get = container.get(3.0)
+        assert get.triggered
+        assert container.level == 1.0
+
+    def test_get_blocks_until_level_sufficient(self, env):
+        container = Container(env, capacity=10)
+        get = container.get(5.0)
+        assert not get.triggered
+        container.put(3.0)
+        assert not get.triggered
+        container.put(2.0)
+        assert get.triggered
+        assert container.level == 0.0
+
+    def test_put_blocks_at_capacity(self, env):
+        container = Container(env, capacity=5, init=4)
+        put = container.put(3.0)
+        assert not put.triggered
+        container.get(2.0)
+        assert put.triggered
+        assert container.level == 5.0
+
+    def test_zero_amount_rejected(self, env):
+        container = Container(env)
+        with pytest.raises(SimulationError):
+            container.put(0.0)
+        with pytest.raises(SimulationError):
+            container.get(0.0)
+
+    def test_token_bucket_pattern(self, env):
+        bucket = Container(env, capacity=5, init=0)
+        served = []
+
+        def refill():
+            while env.now < 10.0:
+                yield env.timeout(1.0)
+                if bucket.level < bucket.capacity:
+                    yield bucket.put(1.0)
+
+        def consumer():
+            for index in range(3):
+                yield bucket.get(2.0)
+                served.append(env.now)
+
+        env.process(refill())
+        env.process(consumer())
+        env.run(until=10.0)
+        assert served == [2.0, 4.0, 6.0]
+
+
+class TestPriorityResource:
+    def test_validation(self, env):
+        with pytest.raises(SimulationError):
+            PriorityResource(env, capacity=0)
+
+    def test_grant_when_free(self, env):
+        resource = PriorityResource(env)
+        request = resource.request(priority=5)
+        assert request.triggered
+        assert resource.count == 1
+
+    def test_lower_priority_value_served_first(self, env):
+        resource = PriorityResource(env, capacity=1)
+        holder = resource.request()
+        low = resource.request(priority=10)
+        high = resource.request(priority=1)
+        resource.release(holder)
+        assert high.triggered
+        assert not low.triggered
+
+    def test_fifo_within_same_priority(self, env):
+        resource = PriorityResource(env, capacity=1)
+        holder = resource.request()
+        first = resource.request(priority=5)
+        second = resource.request(priority=5)
+        resource.release(holder)
+        assert first.triggered
+        assert not second.triggered
+
+    def test_release_validation(self, env):
+        resource = PriorityResource(env)
+        other = PriorityResource(env)
+        request = resource.request()
+        with pytest.raises(SimulationError):
+            other.release(request)
+        waiting = resource.request()
+        with pytest.raises(SimulationError):
+            resource.release(waiting)
+
+    def test_context_manager(self, env):
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(name, priority):
+            with resource.request(priority) as request:
+                yield request
+                order.append(name)
+                yield env.timeout(1.0)
+
+        def spawn():
+            with resource.request(0) as request:
+                yield request
+                yield env.timeout(1.0)
+
+        env.process(spawn())
+        env.process(worker("low", 9))
+        env.process(worker("high", 1))
+        env.run()
+        assert order == ["high", "low"]

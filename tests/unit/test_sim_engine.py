@@ -1,0 +1,98 @@
+"""Unit tests for repro.sim.engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EmptySchedule, Environment
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_advances_clock_exactly(self, env):
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_run_until_past_time_raises(self, env):
+        env.run(until=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_empty_is_infinity(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(7.0)
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self, env):
+        order = []
+        for delay in (5.0, 1.0, 3.0):
+            env.timeout(delay, value=delay).callbacks.append(
+                lambda e: order.append(e.value)
+            )
+        env.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_same_time_events_fire_in_fifo_order(self, env):
+        order = []
+        for tag in ("a", "b", "c"):
+            env.timeout(2.0, value=tag).callbacks.append(
+                lambda e: order.append(e.value)
+            )
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_excludes_later_events(self, env):
+        fired = []
+        env.timeout(1.0).callbacks.append(lambda e: fired.append(1))
+        env.timeout(10.0).callbacks.append(lambda e: fired.append(10))
+        env.run(until=5.0)
+        assert fired == [1]
+        env.run(until=20.0)
+        assert fired == [1, 10]
+
+    def test_event_at_until_boundary_fires(self, env):
+        fired = []
+        env.timeout(5.0).callbacks.append(lambda e: fired.append(True))
+        env.run(until=5.0)
+        assert fired == [True]
+
+    def test_run_without_until_drains_queue(self, env):
+        fired = []
+        env.timeout(1.0).callbacks.append(lambda e: env.timeout(1.0))
+        env.timeout(3.0).callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [3.0]
+        assert env.peek() == float("inf") or env.peek() == 2.0
+
+    def test_nested_scheduling_from_callback(self, env):
+        times = []
+
+        def chain(event):
+            times.append(env.now)
+            if env.now < 3.0:
+                env.timeout(1.0).callbacks.append(chain)
+
+        env.timeout(1.0).callbacks.append(chain)
+        env.run()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestRepr:
+    def test_repr_contains_clock_and_queue(self, env):
+        env.timeout(1.0)
+        text = repr(env)
+        assert "now=0.0" in text
+        assert "queued=1" in text

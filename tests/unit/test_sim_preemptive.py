@@ -1,0 +1,108 @@
+"""Unit tests for repro.sim.containers.PreemptiveResource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.containers import Preempted, PreemptiveResource
+
+
+class TestGranting:
+    def test_capacity_validated(self, env):
+        with pytest.raises(SimulationError):
+            PreemptiveResource(env, capacity=0)
+
+    def test_grant_when_free(self, env):
+        resource = PreemptiveResource(env)
+        request, preempted = resource.request(priority=5)
+        assert request.triggered
+        assert not preempted.triggered
+        assert resource.count == 1
+
+    def test_queue_when_full_and_not_stronger(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        resource.request(priority=1)
+        request, _ = resource.request(priority=5)
+        assert not request.triggered
+        assert resource.queue_length == 1
+
+    def test_equal_priority_does_not_preempt(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        holder, holder_preempted = resource.request(priority=3)
+        request, _ = resource.request(priority=3)
+        assert not request.triggered
+        assert not holder_preempted.triggered
+
+
+class TestPreemption:
+    def test_stronger_request_evicts_weakest_holder(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        holder, holder_preempted = resource.request(priority=5)
+        urgent, _ = resource.request(priority=1)
+        assert urgent.triggered
+        assert holder_preempted.triggered
+        assert not holder_preempted.ok
+        assert isinstance(holder_preempted.value, Preempted)
+        assert resource.preemptions == 1
+
+    def test_preempted_carries_cause_details(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        env.run(until=7.0)
+        _, holder_preempted = resource.request(priority=5)
+        urgent, _ = resource.request(priority=1)
+        cause = holder_preempted.value
+        assert cause.by is urgent
+        assert cause.usage_since == 7.0
+
+    def test_weakest_of_multiple_holders_evicted(self, env):
+        resource = PreemptiveResource(env, capacity=2)
+        strong, strong_preempted = resource.request(priority=1)
+        weak, weak_preempted = resource.request(priority=9)
+        urgent, _ = resource.request(priority=0)
+        assert urgent.triggered
+        assert weak_preempted.triggered
+        assert not strong_preempted.triggered
+
+    def test_release_after_preemption_is_noop(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        holder, _ = resource.request(priority=5)
+        resource.request(priority=1)
+        resource.release(holder)  # slot already gone: must not underflow
+        assert resource.count == 1
+
+    def test_release_promotes_queued_request(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        holder, _ = resource.request(priority=1)
+        queued, _ = resource.request(priority=5)
+        resource.release(holder)
+        assert queued.triggered
+        assert resource.count == 1
+
+
+class TestProcessIntegration:
+    def test_victim_process_observes_preemption(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def background():
+            request, preempted = resource.request(priority=5)
+            yield request
+            work = env.timeout(100.0)
+            try:
+                # A failed member fails the condition, so preemption
+                # surfaces as the Preempted exception at this yield.
+                yield env.any_of([work, preempted])
+                log.append(("done", env.now))
+            except Preempted:
+                log.append(("preempted", env.now))
+
+        def urgent():
+            yield env.timeout(10.0)
+            request, _ = resource.request(priority=1)
+            yield request
+            yield env.timeout(5.0)
+            resource.release(request)
+
+        env.process(background())
+        env.process(urgent())
+        env.run(until=50.0)
+        assert ("preempted", 10.0) in log

@@ -1,0 +1,56 @@
+"""Unit tests for repro.sim.tracing."""
+
+from repro.sim.tracing import NullTracer, Tracer, TraceRecord
+
+
+class TestNullTracer:
+    def test_discards_records(self):
+        tracer = NullTracer()
+        tracer.record(1.0, "anything", {"x": 1})
+        assert len(tracer) == 0
+        assert list(tracer) == []
+
+    def test_not_enabled(self):
+        assert NullTracer().enabled is False
+
+
+class TestTracer:
+    def test_records_everything_by_default(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", "first")
+        tracer.record(2.0, "b", "second")
+        assert len(tracer) == 2
+        assert tracer.records[0] == TraceRecord(1.0, "a", "first")
+
+    def test_enabled(self):
+        assert Tracer().enabled is True
+
+    def test_category_filtering_at_record_time(self):
+        tracer = Tracer(categories={"keep"})
+        tracer.record(1.0, "keep")
+        tracer.record(2.0, "drop")
+        assert len(tracer) == 1
+        assert tracer.records[0].category == "keep"
+
+    def test_filter_by_category(self):
+        tracer = Tracer()
+        tracer.record(1.0, "alarm", 1)
+        tracer.record(2.0, "session", 2)
+        tracer.record(3.0, "alarm", 3)
+        alarms = tracer.filter("alarm")
+        assert [r.payload for r in alarms] == [1, 3]
+
+    def test_by_category_groups(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.record(2.0, "b")
+        tracer.record(3.0, "a")
+        grouped = tracer.by_category()
+        assert set(grouped) == {"a", "b"}
+        assert len(grouped["a"]) == 2
+
+    def test_iteration_in_time_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "x")
+        tracer.record(2.0, "y")
+        assert [r.time for r in tracer] == [1.0, 2.0]

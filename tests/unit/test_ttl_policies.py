@@ -1,0 +1,214 @@
+"""Unit tests for repro.core.ttl (constant + adaptive TTL policies)."""
+
+import math
+
+import pytest
+
+from repro.core.classes import (
+    PerDomainClassifier,
+    SingleClassClassifier,
+    TwoClassClassifier,
+)
+from repro.core.ttl.adaptive import AdaptiveTtlPolicy
+from repro.core.ttl.calibration import (
+    calibrated_scale,
+    capacity_selection_probabilities,
+    expected_request_rate,
+    reference_request_rate,
+    uniform_selection_probabilities,
+)
+from repro.core.ttl.constant import ConstantTtlPolicy
+from repro.errors import ConfigurationError
+
+from ..conftest import make_state
+
+
+class TestConstantTtl:
+    def test_same_ttl_everywhere(self):
+        policy = ConstantTtlPolicy(240.0)
+        assert policy.ttl_for(0, 0, 0.0) == 240.0
+        assert policy.ttl_for(19, 6, 999.0) == 240.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantTtlPolicy(0.0)
+
+
+class TestCalibrationHelpers:
+    def test_uniform_probabilities(self):
+        assert uniform_selection_probabilities(4) == [0.25] * 4
+
+    def test_capacity_probabilities(self):
+        probabilities = capacity_selection_probabilities([1.0, 1.0, 0.5])
+        assert probabilities == pytest.approx([0.4, 0.4, 0.2])
+
+    def test_reference_rate(self):
+        assert reference_request_rate(20, 240.0) == pytest.approx(1 / 12)
+
+    def test_calibrated_scale_closed_form(self):
+        # Homogeneous servers, per-domain weights w: scale = sum(w)/rate.
+        weights = [1.0, 0.5, 0.25, 0.125]
+        scale = calibrated_scale(
+            weights, [1.0] * 3, uniform_selection_probabilities(3), 0.1
+        )
+        assert scale == pytest.approx(sum(weights) / 0.1)
+
+    def test_rate_matches_after_calibration(self):
+        weights = [1.0, 0.5, 1 / 3, 0.25]
+        factors = [1.0, 0.8, 0.5]
+        probabilities = capacity_selection_probabilities(factors)
+        target = 4 / 240.0
+        scale = calibrated_scale(weights, factors, probabilities, target)
+        assert expected_request_rate(
+            scale, weights, factors, probabilities
+        ) == pytest.approx(target)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calibrated_scale([1.0], [1.0], [0.5, 0.5], 0.1)
+        with pytest.raises(ConfigurationError):
+            calibrated_scale([0.0], [1.0], [1.0], 0.1)
+        with pytest.raises(ConfigurationError):
+            calibrated_scale([1.0], [1.0], [1.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            reference_request_rate(0, 240.0)
+        with pytest.raises(ConfigurationError):
+            uniform_selection_probabilities(0)
+        with pytest.raises(ConfigurationError):
+            capacity_selection_probabilities([1.0, -1.0])
+
+
+def make_policy(
+    heterogeneity=20,
+    tiers="K",
+    scale_by_capacity=True,
+    probabilistic=False,
+    **kwargs,
+):
+    state = make_state(heterogeneity=heterogeneity)
+    if tiers == "K":
+        classifier = PerDomainClassifier(state.estimator)
+    elif tiers == 2:
+        classifier = TwoClassClassifier(state.estimator)
+    else:
+        classifier = SingleClassClassifier(state.estimator)
+    if probabilistic:
+        probabilities = capacity_selection_probabilities(
+            state.relative_capacities
+        )
+    else:
+        probabilities = uniform_selection_probabilities(state.server_count)
+    policy = AdaptiveTtlPolicy(
+        state=state,
+        classifier=classifier,
+        scale_by_capacity=scale_by_capacity,
+        selection_probabilities=probabilities,
+        **kwargs,
+    )
+    return policy, state
+
+
+class TestAdaptiveTtl:
+    def test_ttl_sk_paper_formula_shape(self):
+        """TTL_{i,j} proportional to alpha_i / w_j."""
+        policy, state = make_policy(heterogeneity=50, tiers="K")
+        ttl_strong_hot = policy.ttl_for(0, 0, 0.0)
+        ttl_weak_hot = policy.ttl_for(0, 6, 0.0)
+        ttl_strong_cold = policy.ttl_for(19, 0, 0.0)
+        assert ttl_weak_hot / ttl_strong_hot == pytest.approx(0.5)  # alpha
+        assert ttl_strong_cold / ttl_strong_hot == pytest.approx(20.0)  # 1/w
+
+    def test_ttl_k_ignores_server(self):
+        policy, _ = make_policy(tiers="K", scale_by_capacity=False,
+                                probabilistic=True)
+        assert policy.ttl_for(3, 0, 0.0) == policy.ttl_for(3, 6, 0.0)
+
+    def test_ttl_s1_ignores_domain(self):
+        policy, _ = make_policy(tiers=1, scale_by_capacity=True)
+        assert policy.ttl_for(0, 2, 0.0) == policy.ttl_for(19, 2, 0.0)
+
+    def test_ttl_s1_proportional_to_capacity(self):
+        policy, state = make_policy(heterogeneity=65, tiers=1)
+        ratio = policy.ttl_for(0, 6, 0.0) / policy.ttl_for(0, 0, 0.0)
+        assert ratio == pytest.approx(0.35)
+
+    def test_two_tier_gives_two_ttls_per_server(self):
+        policy, _ = make_policy(tiers=2)
+        hot = policy.ttl_for(0, 0, 0.0)
+        normal = policy.ttl_for(19, 0, 0.0)
+        assert normal > hot  # hot domains get shorter TTLs
+
+    def test_calibrated_request_rate_matches_constant_policy(self):
+        """The paper's fairness condition, for every policy shape."""
+        reference = reference_request_rate(20, 240.0)
+        for tiers in (1, 2, "K"):
+            for scaled in (True, False):
+                for probabilistic in (True, False):
+                    policy, state = make_policy(
+                        heterogeneity=50,
+                        tiers=tiers,
+                        scale_by_capacity=scaled,
+                        probabilistic=probabilistic,
+                    )
+                    probabilities = policy.selection_probabilities
+                    # rate = sum_j 1 / E_i[TTL(i, j)]
+                    rate = 0.0
+                    for domain in range(20):
+                        expected_ttl = sum(
+                            p * policy.ttl_for(domain, server, 0.0)
+                            for server, p in enumerate(probabilities)
+                        )
+                        rate += 1.0 / expected_ttl
+                    assert rate == pytest.approx(reference), (
+                        tiers, scaled, probabilistic
+                    )
+
+    def test_ttl_k_hottest_domain_value(self):
+        # Pure Zipf K=20: TTL_min = 240 * H_20 / 20 ~ 43.2 s.
+        policy, _ = make_policy(tiers="K", scale_by_capacity=False,
+                                probabilistic=True)
+        harmonic = sum(1 / j for j in range(1, 21))
+        assert policy.ttl_for(0, 0, 0.0) == pytest.approx(240 * harmonic / 20)
+
+    def test_ttl_floor_applied(self):
+        policy, _ = make_policy(tiers="K", ttl_floor=100.0)
+        assert policy.ttl_for(0, 6, 0.0) >= 100.0
+
+    def test_ttl_table_matches_ttl_for(self):
+        policy, _ = make_policy(heterogeneity=35, tiers=2)
+        table = policy.ttl_table()
+        for server in range(7):
+            for domain in (0, 7, 19):
+                assert table[server][domain] == pytest.approx(
+                    policy.ttl_for(domain, server, 0.0)
+                )
+
+    def test_recalibrates_on_estimator_update(self):
+        policy, state = make_policy(tiers="K")
+        before = policy.ttl_for(0, 0, 0.0)
+        # Make domain 0 look twice as hot.
+        shares = state.estimator.shares()
+        shares[0] *= 2
+        total = sum(shares)
+        state.estimator._shares = [s / total for s in shares]
+        state.estimator.version += 1
+        after = policy.ttl_for(0, 0, 0.0)
+        assert after != before
+
+    def test_validation(self):
+        state = make_state()
+        with pytest.raises(ConfigurationError):
+            AdaptiveTtlPolicy(
+                state,
+                SingleClassClassifier(state.estimator),
+                scale_by_capacity=False,
+                selection_probabilities=[1.0],  # wrong length
+            )
+        with pytest.raises(ConfigurationError):
+            AdaptiveTtlPolicy(
+                state,
+                SingleClassClassifier(state.estimator),
+                scale_by_capacity=False,
+                selection_probabilities=[1 / 7] * 7,
+                ttl_floor=-1.0,
+            )

@@ -1,0 +1,93 @@
+"""Unit tests for repro.web.cluster (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.web.cluster import HETEROGENEITY_LEVELS, ServerCluster
+
+
+class TestTable2Presets:
+    def test_all_levels_have_seven_servers(self):
+        for level, alphas in HETEROGENEITY_LEVELS.items():
+            assert len(alphas) == 7, level
+
+    def test_levels_match_paper(self):
+        assert HETEROGENEITY_LEVELS[20] == [1.0, 1.0, 1.0, 0.8, 0.8, 0.8, 0.8]
+        assert HETEROGENEITY_LEVELS[35] == [1.0, 1.0, 0.8, 0.8, 0.65, 0.65, 0.65]
+        assert HETEROGENEITY_LEVELS[50] == [1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5]
+        assert HETEROGENEITY_LEVELS[65] == [1.0, 1.0, 0.8, 0.8, 0.35, 0.35, 0.35]
+
+    def test_level_names_match_max_difference(self):
+        for level, alphas in HETEROGENEITY_LEVELS.items():
+            assert round(100 * (max(alphas) - min(alphas))) == level
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster.from_heterogeneity(42)
+
+
+class TestClusterConstruction:
+    def test_total_capacity_preserved(self):
+        for level in (0, 20, 35, 50, 65):
+            cluster = ServerCluster.from_heterogeneity(level)
+            assert sum(cluster.capacities) == pytest.approx(500.0)
+
+    def test_capacities_proportional_to_alphas(self):
+        cluster = ServerCluster.from_heterogeneity(50)
+        assert cluster.capacities[0] / cluster.capacities[-1] == pytest.approx(2.0)
+
+    def test_power_ratio(self):
+        assert ServerCluster.from_heterogeneity(50).power_ratio == pytest.approx(2.0)
+        assert ServerCluster.from_heterogeneity(0).power_ratio == pytest.approx(1.0)
+
+    def test_heterogeneity_percent(self):
+        cluster = ServerCluster.from_heterogeneity(65)
+        assert cluster.heterogeneity_percent == pytest.approx(65.0)
+
+    def test_homogeneous_constructor(self):
+        cluster = ServerCluster.homogeneous(5, total_capacity=100.0)
+        assert cluster.server_count == 5
+        assert all(c == pytest.approx(20.0) for c in cluster.capacities)
+
+    def test_custom_total_capacity(self):
+        cluster = ServerCluster.from_heterogeneity(20, total_capacity=1000.0)
+        assert sum(cluster.capacities) == pytest.approx(1000.0)
+
+    def test_servers_numbered_in_order(self):
+        cluster = ServerCluster.from_heterogeneity(35)
+        assert [s.server_id for s in cluster] == list(range(7))
+        caps = cluster.capacities
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster([])
+
+    def test_first_alpha_must_be_one(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster([0.9, 0.8])
+
+    def test_increasing_alphas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster([1.0, 0.5, 0.8])
+
+    def test_nonpositive_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster([1.0, 0.0])
+
+    def test_nonpositive_total_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster([1.0], total_capacity=0.0)
+
+    def test_homogeneous_needs_servers(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster.homogeneous(0)
+
+
+class TestSequenceProtocol:
+    def test_len_and_getitem(self):
+        cluster = ServerCluster.from_heterogeneity(20)
+        assert len(cluster) == 7
+        assert cluster[2].server_id == 2

@@ -1,0 +1,123 @@
+"""Unit tests for repro.web.monitor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.web.monitor import AlarmProtocol, UtilizationMonitor
+from repro.web.server import WebServer
+
+
+class TestAlarmProtocol:
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AlarmProtocol(3, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            AlarmProtocol(3, threshold=1.5)
+
+    def test_alarm_on_crossing_up(self):
+        protocol = AlarmProtocol(2, threshold=0.9)
+        protocol.observe(1.0, 0, 0.95)
+        assert protocol.is_alarmed(0)
+        assert protocol.alarm_signals == 1
+        assert protocol.alarmed_servers == [0]
+
+    def test_no_signal_while_staying_above(self):
+        protocol = AlarmProtocol(1, threshold=0.9)
+        protocol.observe(1.0, 0, 0.95)
+        protocol.observe(2.0, 0, 0.99)
+        assert protocol.alarm_signals == 1  # only the transition counts
+
+    def test_normal_signal_on_crossing_down(self):
+        protocol = AlarmProtocol(1, threshold=0.9)
+        protocol.observe(1.0, 0, 0.95)
+        protocol.observe(2.0, 0, 0.5)
+        assert not protocol.is_alarmed(0)
+        assert protocol.normal_signals == 1
+
+    def test_exactly_threshold_is_not_alarmed(self):
+        protocol = AlarmProtocol(1, threshold=0.9)
+        protocol.observe(1.0, 0, 0.9)
+        assert not protocol.is_alarmed(0)
+
+    def test_listener_called_on_transitions_only(self):
+        events = []
+        protocol = AlarmProtocol(
+            1, threshold=0.9,
+            listener=lambda now, sid, alarmed: events.append((now, sid, alarmed)),
+        )
+        protocol.observe(1.0, 0, 0.95)
+        protocol.observe(2.0, 0, 0.96)
+        protocol.observe(3.0, 0, 0.5)
+        assert events == [(1.0, 0, True), (3.0, 0, False)]
+
+    def test_independent_servers(self):
+        protocol = AlarmProtocol(3, threshold=0.9)
+        protocol.observe(1.0, 1, 0.95)
+        assert protocol.alarmed_servers == [1]
+        assert not protocol.is_alarmed(0)
+        assert not protocol.is_alarmed(2)
+
+
+class TestUtilizationMonitor:
+    def test_interval_must_be_positive(self, env):
+        with pytest.raises(ConfigurationError):
+            UtilizationMonitor(env, [WebServer(0, 10.0)], interval=0.0)
+
+    def test_samples_taken_periodically(self, env):
+        server = WebServer(0, 10.0)
+        samples = []
+        UtilizationMonitor(
+            env, [server], interval=8.0,
+            sample_sink=lambda now, utils: samples.append((now, list(utils))),
+        )
+        env.run(until=25.0)
+        assert [now for now, _ in samples] == [8.0, 16.0, 24.0]
+
+    def test_sampled_utilization_reflects_offered_work(self, env):
+        server = WebServer(0, 10.0)
+        samples = []
+        UtilizationMonitor(
+            env, [server], interval=10.0,
+            sample_sink=lambda now, utils: samples.append(utils[0]),
+        )
+
+        def workload():
+            server.offer(env.now, hits=50, domain_id=0)  # 5s of work
+            yield env.timeout(100.0)
+
+        env.process(workload())
+        env.run(until=10.0)
+        assert samples == [pytest.approx(0.5)]
+
+    def test_alarms_driven_by_monitor(self, env):
+        server = WebServer(0, 10.0)
+        protocol = AlarmProtocol(1, threshold=0.9)
+        UtilizationMonitor(env, [server], interval=10.0, alarm_protocol=protocol)
+
+        def workload():
+            server.offer(env.now, hits=200, domain_id=0)  # 20s of work
+            yield env.timeout(100.0)
+
+        env.process(workload())
+        env.run(until=10.0)
+        assert protocol.is_alarmed(0)
+        env.run(until=40.0)  # backlog drained by t=20
+        assert not protocol.is_alarmed(0)
+
+    def test_multiple_servers_sampled_together(self, env):
+        servers = [WebServer(i, 10.0) for i in range(3)]
+        collected = []
+        UtilizationMonitor(
+            env, servers, interval=5.0,
+            sample_sink=lambda now, utils: collected.append(list(utils)),
+        )
+        servers[1].offer(0.0, hits=25, domain_id=0)
+        env.run(until=5.0)
+        assert collected[0][0] == 0.0
+        assert collected[0][1] == pytest.approx(0.5)
+        assert collected[0][2] == 0.0
+
+    def test_samples_counter(self, env):
+        monitor = UtilizationMonitor(env, [WebServer(0, 1.0)], interval=2.0)
+        env.run(until=9.0)
+        assert monitor.samples_taken == 4

@@ -1,0 +1,76 @@
+"""Unit tests for repro.web.queueing (event-driven FIFO server)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.web.queueing import QueueingWebServer
+
+
+class TestConstruction:
+    def test_capacity_validated(self, env):
+        with pytest.raises(ConfigurationError):
+            QueueingWebServer(env, 0, 0.0)
+
+    def test_initial_state(self, env):
+        server = QueueingWebServer(env, 0, 10.0)
+        assert server.total_hits == 0
+        assert server.busy_time == 0.0
+        assert server.queue_length == 0
+        assert server.utilization(0.0) == 0.0
+
+
+class TestService:
+    def test_single_job_service_time(self, env):
+        server = QueueingWebServer(env, 0, 10.0)
+        server.offer(0.0, 50, 0)  # 5 s of service
+        env.run(until=10.0)
+        assert server.completed_pages == 1
+        assert server.busy_time == pytest.approx(5.0)
+        assert server.total_sojourn == pytest.approx(5.0)
+
+    def test_fifo_order_and_queueing_delay(self, env):
+        server = QueueingWebServer(env, 0, 10.0)
+
+        def feeder():
+            server.offer(env.now, 30, 0)  # 3 s
+            server.offer(env.now, 10, 0)  # 1 s, waits 3 s
+            yield env.timeout(0.0)
+
+        env.process(feeder())
+        env.run(until=10.0)
+        assert server.completed_pages == 2
+        assert server.busy_time == pytest.approx(4.0)
+        assert server.total_sojourn == pytest.approx(3.0 + 4.0)
+
+    def test_queue_length_while_busy(self, env):
+        server = QueueingWebServer(env, 0, 1.0)
+        server.offer(0.0, 10, 0)
+        server.offer(0.0, 10, 0)
+        server.offer(0.0, 10, 0)
+        env.run(until=5.0)  # first job still in service (10 s)
+        assert server.queue_length == 2
+
+    def test_zero_hits_rejected(self, env):
+        server = QueueingWebServer(env, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            server.offer(0.0, 0, 0)
+
+    def test_idle_gaps_not_busy(self, env):
+        server = QueueingWebServer(env, 0, 10.0)
+
+        def feeder():
+            server.offer(env.now, 10, 0)  # 1 s
+            yield env.timeout(5.0)
+            server.offer(env.now, 10, 0)  # 1 s more
+
+        env.process(feeder())
+        env.run(until=20.0)
+        assert server.busy_time == pytest.approx(2.0)
+        assert server.utilization(20.0) == pytest.approx(0.1)
+
+    def test_totals_track_offers(self, env):
+        server = QueueingWebServer(env, 0, 100.0)
+        for _ in range(5):
+            server.offer(env.now, 10, 3)
+        assert server.total_pages == 5
+        assert server.total_hits == 50

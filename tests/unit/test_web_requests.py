@@ -1,0 +1,32 @@
+"""Unit tests for repro.web.requests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.web.requests import PageRequest, SessionRecord
+
+
+class TestPageRequest:
+    def test_requires_at_least_one_hit(self):
+        with pytest.raises(ConfigurationError):
+            PageRequest(domain_id=0, client_id=0, server_id=0, hits=0, issued_at=0.0)
+
+    def test_value_semantics(self):
+        a = PageRequest(1, 2, 3, 10, 5.0)
+        b = PageRequest(1, 2, 3, 10, 5.0)
+        assert a == b
+
+    def test_fields(self):
+        request = PageRequest(domain_id=1, client_id=9, server_id=3, hits=7,
+                              issued_at=2.5)
+        assert request.hits == 7
+        assert request.server_id == 3
+
+
+class TestSessionRecord:
+    def test_duration(self):
+        record = SessionRecord(
+            domain_id=0, client_id=0, server_id=1, pages=20, hits=200,
+            started_at=10.0, ended_at=310.0, resolved_by_dns=True,
+        )
+        assert record.duration == 300.0

@@ -1,0 +1,121 @@
+"""Unit tests for repro.workload.clients."""
+
+import pytest
+
+from repro.core.estimator import OracleEstimator
+from repro.core.round_robin import RoundRobinScheduler
+from repro.core.state import SchedulerState
+from repro.core.ttl.constant import ConstantTtlPolicy
+from repro.dns.authoritative import AuthoritativeDns
+from repro.dns.resolver import ResolutionChain
+from repro.errors import ConfigurationError
+from repro.sim.distributions import Constant, DiscreteUniform
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import Tracer
+from repro.web.cluster import ServerCluster
+from repro.workload.clients import ClientPopulation
+from repro.workload.domains import DomainSet
+from repro.workload.sessions import SessionModel
+
+
+def build_population(
+    env,
+    domain_count=4,
+    clients=8,
+    ttl=100.0,
+    tracer=None,
+    uniform=True,
+):
+    cluster = ServerCluster.from_heterogeneity(20)
+    domains = (
+        DomainSet.uniform(domain_count)
+        if uniform
+        else DomainSet.pure_zipf(domain_count)
+    )
+    state = SchedulerState(cluster, OracleEstimator(domains.shares))
+    dns = AuthoritativeDns(RoundRobinScheduler(state), ConstantTtlPolicy(ttl))
+    chain = ResolutionChain(dns, domain_count)
+    model = SessionModel(
+        pages_per_session=Constant(3.0),
+        hits_per_page=DiscreteUniform(5, 15),
+        think_time=Constant(10.0),
+    )
+    population = ClientPopulation(
+        env, cluster, chain, domains, model, clients,
+        RandomStreams(1), tracer=tracer,
+    )
+    return population, chain, cluster
+
+
+class TestPopulationSetup:
+    def test_one_process_per_client(self, env):
+        population, _, _ = build_population(env, clients=8)
+        assert len(population.processes) == 8
+
+    def test_clients_partitioned_by_domain(self, env):
+        population, _, _ = build_population(env, domain_count=4, clients=8)
+        assert len(population.client_domains) == 8
+        assert population.client_domains.count(0) == 2  # uniform split
+
+    def test_zipf_partition_concentrates_clients(self, env):
+        population, _, _ = build_population(
+            env, domain_count=4, clients=100, uniform=False
+        )
+        counts = [population.client_domains.count(d) for d in range(4)]
+        assert counts[0] > counts[1] > counts[3]
+
+    def test_zero_clients_rejected(self, env):
+        with pytest.raises(ConfigurationError):
+            build_population(env, clients=0)
+
+
+class TestTrafficGeneration:
+    def test_sessions_and_pages_flow(self, env):
+        population, _, cluster = build_population(env, clients=4)
+        env.run(until=200.0)
+        assert population.total_sessions > 0
+        assert population.total_pages > 0
+        assert population.total_hits >= 5 * population.total_pages
+        assert population.total_hits <= 15 * population.total_pages
+
+    def test_hits_reach_servers(self, env):
+        population, _, cluster = build_population(env, clients=4)
+        env.run(until=200.0)
+        server_hits = sum(server.total_hits for server in cluster)
+        assert server_hits == population.total_hits
+
+    def test_one_resolution_per_session(self, env):
+        population, chain, _ = build_population(env, clients=4, ttl=1e-9)
+        env.run(until=200.0)
+        # With a negligible TTL every session resolution reaches the DNS.
+        total = chain.cache_answers + chain.authoritative_answers
+        assert total == population.total_sessions
+
+    def test_dns_control_fraction_between_zero_and_one(self, env):
+        population, _, _ = build_population(env, clients=6)
+        env.run(until=300.0)
+        assert 0.0 < population.dns_control_fraction <= 1.0
+
+    def test_long_ttl_reduces_dns_control(self, env):
+        population_long, chain_long, _ = build_population(env, ttl=1e6)
+        env.run(until=400.0)
+        # All domains resolve authoritatively once and then hit caches.
+        assert chain_long.authoritative_answers <= 4
+
+    def test_trace_records_sessions(self, env):
+        tracer = Tracer(categories={"session"})
+        population, _, _ = build_population(env, clients=3, tracer=tracer)
+        env.run(until=100.0)
+        assert len(tracer) == population.total_sessions
+        record = tracer.records[0]
+        assert set(record.payload) == {"client", "domain", "server", "pages", "dns"}
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            env = Environment()
+            population, _, _ = build_population(env, clients=5)
+            env.run(until=300.0)
+            return (population.total_hits, population.total_sessions)
+
+        assert run_once() == run_once()

@@ -1,0 +1,118 @@
+"""Unit tests for repro.workload.domains."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.domains import DomainSet
+
+
+class TestConstruction:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet([0.5, 0.4])
+
+    def test_shares_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet([1.5, -0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet([])
+
+    def test_pure_zipf_shares(self):
+        domains = DomainSet.pure_zipf(4)
+        harmonic = 1 + 1 / 2 + 1 / 3 + 1 / 4
+        assert domains.shares[0] == pytest.approx(1 / harmonic)
+        assert domains.shares[3] == pytest.approx(1 / (4 * harmonic))
+
+    def test_uniform_shares(self):
+        domains = DomainSet.uniform(5)
+        assert domains.shares == pytest.approx([0.2] * 5)
+
+    def test_uniform_requires_domains(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet.uniform(0)
+
+
+class TestDerivedQuantities:
+    def test_relative_weights_peak_is_one(self):
+        weights = DomainSet.pure_zipf(20).relative_weights
+        assert max(weights) == pytest.approx(1.0)
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_relative_weights_are_zipf_ratios(self):
+        weights = DomainSet.pure_zipf(10).relative_weights
+        assert weights[4] == pytest.approx(1 / 5)
+
+    def test_hottest_domain(self):
+        assert DomainSet.pure_zipf(10).hottest_domain() == 0
+
+    def test_domain_count(self):
+        assert DomainSet.pure_zipf(17).domain_count == 17
+        assert len(DomainSet.pure_zipf(17)) == 17
+
+
+class TestClientCounts:
+    def test_counts_sum_to_total(self):
+        domains = DomainSet.pure_zipf(20)
+        for total in (1, 7, 500, 1234):
+            assert sum(domains.client_counts(total)) == total
+
+    def test_counts_roughly_proportional(self):
+        domains = DomainSet.pure_zipf(20)
+        counts = domains.client_counts(500)
+        for count, share in zip(counts, domains.shares):
+            assert abs(count - share * 500) < 1.0
+
+    def test_paper_default_hot_domain_size(self):
+        # Domain 1 holds ~27.8% of 500 clients = ~139 clients.
+        counts = DomainSet.pure_zipf(20).client_counts(500)
+        assert counts[0] in (138, 139, 140)
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet.pure_zipf(5).client_counts(0)
+
+
+class TestPerturbation:
+    def test_zero_error_is_identity(self):
+        domains = DomainSet.pure_zipf(10)
+        perturbed = domains.perturb_hottest(0.0)
+        assert perturbed.shares == pytest.approx(domains.shares)
+
+    def test_hot_share_increases_by_error(self):
+        domains = DomainSet.pure_zipf(10)
+        perturbed = domains.perturb_hottest(0.3)
+        assert perturbed.shares[0] == pytest.approx(domains.shares[0] * 1.3)
+
+    def test_total_preserved(self):
+        perturbed = DomainSet.pure_zipf(10).perturb_hottest(0.4)
+        assert math.isclose(sum(perturbed.shares), 1.0)
+
+    def test_other_domains_scaled_proportionally(self):
+        domains = DomainSet.pure_zipf(10)
+        perturbed = domains.perturb_hottest(0.2)
+        ratios = [
+            perturbed.shares[j] / domains.shares[j] for j in range(1, 10)
+        ]
+        assert max(ratios) - min(ratios) < 1e-12
+        assert all(r < 1.0 for r in ratios)
+
+    def test_skew_increases(self):
+        domains = DomainSet.pure_zipf(10)
+        perturbed = domains.perturb_hottest(0.5)
+        assert max(perturbed.shares) > max(domains.shares)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet.pure_zipf(10).perturb_hottest(-0.1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet([0.9, 0.1]).perturb_hottest(0.2)
+
+    def test_single_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSet([1.0]).perturb_hottest(0.1)

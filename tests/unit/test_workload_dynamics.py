@@ -1,0 +1,62 @@
+"""Unit tests for repro.workload.dynamics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.dynamics import (
+    RotatingHotDomains,
+    StaticDomains,
+)
+
+
+class TestStaticDomains:
+    def test_identity(self):
+        dynamics = StaticDomains()
+        for domain in range(10):
+            assert dynamics.current_domain(domain, 12345.0) == domain
+
+    def test_is_static(self):
+        assert StaticDomains().is_static
+
+
+class TestRotatingHotDomains:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RotatingHotDomains(0.0, 5)
+        with pytest.raises(ConfigurationError):
+            RotatingHotDomains(100.0, 1)
+
+    def test_not_static(self):
+        assert not RotatingHotDomains(100.0, 5).is_static
+
+    def test_identity_before_first_shift(self):
+        dynamics = RotatingHotDomains(100.0, 5)
+        for domain in range(10):
+            assert dynamics.current_domain(domain, 50.0) == domain
+
+    def test_cyclic_shift_after_interval(self):
+        dynamics = RotatingHotDomains(100.0, 3)
+        assert dynamics.current_domain(0, 150.0) == 1
+        assert dynamics.current_domain(1, 150.0) == 2
+        assert dynamics.current_domain(2, 150.0) == 0
+
+    def test_cold_domains_untouched(self):
+        dynamics = RotatingHotDomains(100.0, 3)
+        for now in (0.0, 150.0, 950.0):
+            assert dynamics.current_domain(7, now) == 7
+
+    def test_full_cycle_returns_to_identity(self):
+        dynamics = RotatingHotDomains(100.0, 4)
+        assert dynamics.current_domain(2, 400.0) == 2
+
+    def test_rotation_is_a_permutation_at_all_times(self):
+        dynamics = RotatingHotDomains(60.0, 5)
+        for now in (0.0, 61.0, 130.0, 250.0, 1000.0):
+            mapped = [dynamics.current_domain(d, now) for d in range(10)]
+            assert sorted(mapped) == list(range(10))
+
+    def test_rotation_step(self):
+        dynamics = RotatingHotDomains(100.0, 5)
+        assert dynamics.rotation_step(99.0) == 0
+        assert dynamics.rotation_step(100.0) == 1
+        assert dynamics.rotation_step(350.0) == 3
