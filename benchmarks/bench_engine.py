@@ -21,7 +21,7 @@ from repro.web.cluster import ServerCluster
 from repro.web.server import WebServer
 from repro.workload.domains import DomainSet
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, BENCH_WORKERS
 
 
 def make_state(heterogeneity=65, domain_count=20):
@@ -118,3 +118,31 @@ def test_bench_full_simulation_minute(benchmark):
         lambda: run_simulation(config), rounds=3, iterations=1
     )
     assert result.total_hits > 0
+
+
+def test_bench_parallel_grid(benchmark):
+    """An 8-cell policy x heterogeneity grid through the executor.
+
+    Runs with ``REPRO_BENCH_WORKERS`` workers (default 1): rerun under
+    several values to measure the fan-out speedup — the pivoted metrics
+    are identical for every worker count. ``benchmarks/bench_parallel.py``
+    is the standalone serial-vs-parallel version of this measurement.
+    """
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.grid import run_grid
+
+    base = SimulationConfig(duration=1800.0, seed=BENCH_SEED)
+    axes = {
+        "policy": ["RR", "DAL", "PRR2-TTL/K", "DRR2-TTL/S_K"],
+        "heterogeneity": [20, 50],
+    }
+    grid = benchmark.pedantic(
+        lambda: run_grid(base, axes, workers=BENCH_WORKERS),
+        rounds=1, iterations=1,
+    )
+    assert len(grid) == 8
+    print()
+    print(f"[workers={BENCH_WORKERS} "
+          f"wall={grid.execution.wall_time:.2f}s "
+          f"speedup={grid.execution.speedup:.2f}x]")
+    print(grid.pivot_table("policy", "heterogeneity"))

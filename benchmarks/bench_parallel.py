@@ -1,0 +1,112 @@
+"""Serial-vs-parallel wall-clock benchmark of the experiment executor.
+
+Runs one factorial grid (policy x heterogeneity, 8 cells by default)
+once per requested worker count, verifies that every run produced
+cell-for-cell identical metrics, and prints a speedup table. This is the
+measurement recorded in ``docs/PERFORMANCE.md``::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --workers 1,2,4
+
+Options control the grid size (``--policies``, ``--levels``), per-cell
+length (``--duration``, simulated seconds) and seed. The script has no
+dependencies beyond the library itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.grid import GridResult, run_grid
+from repro.experiments.reporting import format_table
+
+DEFAULT_POLICIES = "RR,DAL,PRR2-TTL/K,DRR2-TTL/S_K"
+DEFAULT_LEVELS = "20,50"
+
+
+def _cell_fingerprint(grid: GridResult) -> List[tuple]:
+    """Exact per-cell metrics, for cross-run identity checks."""
+    return [
+        (
+            tuple(sorted(params.items(), key=lambda kv: kv[0])),
+            tuple(result.max_utilization_samples),
+            result.dns_resolutions,
+            result.total_hits,
+        )
+        for params, result in grid.cells
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", default="1,2,4",
+        help="comma-separated worker counts to benchmark (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--policies", default=DEFAULT_POLICIES,
+        help=f"comma-separated policy axis (default {DEFAULT_POLICIES})",
+    )
+    parser.add_argument(
+        "--levels", default=DEFAULT_LEVELS,
+        help=f"comma-separated heterogeneity axis (default {DEFAULT_LEVELS})",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=3600.0,
+        help="simulated seconds per cell (default 3600)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(v) for v in args.workers.split(",") if v]
+    base = SimulationConfig(duration=args.duration, seed=args.seed)
+    axes = {
+        "policy": [p for p in args.policies.split(",") if p],
+        "heterogeneity": [int(v) for v in args.levels.split(",") if v],
+    }
+    cell_count = len(axes["policy"]) * len(axes["heterogeneity"])
+    print(
+        f"{cell_count} cells x {args.duration:g} simulated seconds, "
+        f"seed {args.seed}; worker counts: {worker_counts}"
+    )
+
+    rows = []
+    baseline_wall = None
+    baseline_cells = None
+    for workers in worker_counts:
+        grid = run_grid(base, axes, workers=workers)
+        stats = grid.execution
+        fingerprint = _cell_fingerprint(grid)
+        if baseline_cells is None:
+            baseline_cells = fingerprint
+            baseline_wall = stats.wall_time
+        elif fingerprint != baseline_cells:
+            print(
+                f"ERROR: workers={workers} produced different results "
+                "than the first run — determinism violated",
+                file=sys.stderr,
+            )
+            return 1
+        rows.append(
+            (
+                str(workers),
+                f"{stats.wall_time:.2f} s",
+                f"{stats.mean_cell_time:.2f} s",
+                f"{baseline_wall / stats.wall_time:.2f}x",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["workers", "wall time", "cell mean", "speedup vs first"], rows
+        )
+    )
+    print("\nall worker counts produced cell-for-cell identical metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

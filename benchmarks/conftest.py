@@ -29,6 +29,10 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 #: Seed used by every benchmark figure (change via REPRO_BENCH_SEED).
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
+#: Worker processes used by the multi-cell benchmarks (change via
+#: REPRO_BENCH_WORKERS; results are identical for any value).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 
 def report_figure(figure) -> None:
     """Print a regenerated figure, persist CSV, and check expectations."""

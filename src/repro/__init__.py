@@ -38,9 +38,11 @@ from .errors import (
 from .experiments import (
     FIGURES,
     FigureResult,
+    ParallelExecutor,
     SimulationConfig,
     SimulationResult,
     compare_policies,
+    run_grid,
     run_replications,
     run_simulation,
     sweep,
@@ -54,6 +56,7 @@ __all__ = [
     "FIGURES",
     "FigureResult",
     "PAPER_POLICIES",
+    "ParallelExecutor",
     "PolicyError",
     "PolicySpec",
     "ReproError",
@@ -66,6 +69,7 @@ __all__ = [
     "build_policy",
     "compare_policies",
     "parse_policy_name",
+    "run_grid",
     "run_replications",
     "run_simulation",
     "sweep",

@@ -30,11 +30,16 @@ def jain_fairness_index(utilizations: Sequence[float]) -> float:
     all-idle vector the allocation is trivially fair, so 1.0 is returned.
     """
     _validate(utilizations)
-    total = sum(utilizations)
-    squares = sum(u * u for u in utilizations)
-    if total == 0 or squares == 0:  # all zero (or underflowed to zero)
+    peak = max(utilizations)
+    if peak == 0:  # all idle: trivially fair
         return 1.0
-    return min(1.0, (total * total) / (len(utilizations) * squares))
+    # Scale by the peak first: squaring tiny (denormal) utilizations
+    # underflows and silently skews the index, while the index itself is
+    # scale-invariant, so normalizing to [0, 1] costs nothing.
+    scaled = [u / peak for u in utilizations]
+    total = sum(scaled)
+    squares = sum(u * u for u in scaled)
+    return min(1.0, (total * total) / (len(scaled) * squares))
 
 
 def coefficient_of_variation(utilizations: Sequence[float]) -> float:

@@ -24,6 +24,12 @@ Subcommands
     Print Table 1 (model parameters) or Table 2 (heterogeneity levels).
 ``policies``
     List every policy name the registry knows.
+
+Multi-cell commands (``compare``, ``sweep``, ``grid``, ``figure``)
+accept ``--workers N`` to fan their independent simulations out over N
+worker processes; outputs are bit-identical for any value (each cell's
+seed is fixed before submission) and a timing block is printed whenever
+N > 1. See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -34,16 +40,27 @@ from typing import List, Optional
 
 from .core.registry import available_policies
 from .experiments.config import SimulationConfig
+from .experiments.executor import ExecutionStats, ParallelExecutor
 from .experiments.figures import FIGURES, table1, table2
 from .experiments.reporting import (
     figure_to_csv,
     format_table,
     render_comparison,
+    render_execution,
     render_figure,
     render_result,
 )
 from .experiments.runner import compare_policies
 from .experiments.simulation import run_simulation
+
+
+def _print_execution(
+    stats: Optional[ExecutionStats], labels: Optional[List[str]] = None
+) -> None:
+    """Print the timing block for an explicitly parallel invocation."""
+    if stats is not None and stats.workers > 1:
+        print()
+        print(render_execution(stats, labels=labels))
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +100,15 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--save", metavar="PATH", default=None,
         help="also write the result as JSON to PATH",
+    )
+    _add_workers_argument(parser)
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for multi-cell commands (default 1 = "
+        "serial; results are identical for any value)",
     )
 
 
@@ -167,9 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None,
         help="also write the figure as JSON to PATH",
     )
+    _add_workers_argument(figure_parser)
 
     table_parser = sub.add_parser("table", help="print a paper table")
     table_parser.add_argument("table_id", choices=("table1", "table2"))
+    _add_workers_argument(table_parser)  # tables are static data; a no-op
 
     grid_parser = sub.add_parser(
         "grid", help="full-factorial run over two parameters"
@@ -240,8 +268,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "compare":
         base = _scenario_config(args, args.policy[0])
-        results = compare_policies(base, args.policy)
+        executor = ParallelExecutor(workers=args.workers)
+        results = compare_policies(base, args.policy, executor=executor)
         print(render_comparison(results))
+        _print_execution(executor.last_stats, labels=list(args.policy))
         if args.paired and len(args.policy) >= 2:
             from .analysis import paired_comparison
 
@@ -267,19 +297,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         base = _scenario_config(args, args.policy)
         from .experiments.runner import sweep as run_sweep
 
+        executor = ParallelExecutor(workers=args.workers)
         rows = [
             (value, f"{metric:.3f}", f"{result.mean_max_utilization:.3f}")
-            for value, metric, result in run_sweep(base, args.param, values)
+            for value, metric, result in run_sweep(
+                base, args.param, values, executor=executor
+            )
         ]
         print(
             format_table(
                 [args.param, "P(max<0.98)", "mean max util"], rows
             )
         )
+        _print_execution(
+            executor.last_stats,
+            labels=[f"{args.param}={value}" for value in values],
+        )
         return 0
 
     if args.command == "figure":
-        figure = FIGURES[args.figure_id](duration=args.duration, seed=args.seed)
+        figure = FIGURES[args.figure_id](
+            duration=args.duration, seed=args.seed, workers=args.workers
+        )
         print(figure_to_csv(figure) if args.csv else render_figure(figure))
         if args.save:
             from .experiments.persistence import save_json
@@ -321,9 +360,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         base = _scenario_config(args, "RR")
         grid = run_grid(
-            base, {row_field: row_values, col_field: col_values}
+            base,
+            {row_field: row_values, col_field: col_values},
+            workers=args.workers,
         )
         print(grid.pivot_table(row_field, col_field))
+        _print_execution(
+            grid.execution,
+            labels=[
+                ",".join(f"{k}={v}" for k, v in params.items())
+                for params, _ in grid.cells
+            ],
+        )
         return 0
 
     if args.command == "validate":

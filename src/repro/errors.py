@@ -47,6 +47,13 @@ class UnknownPolicyError(PolicyError):
             f"unknown policy {name!r}; known policies: {', '.join(self.known)}"
         )
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` where args is
+        # the formatted message — the wrong signature. Spelling out the
+        # constructor call keeps the error transportable across the
+        # process boundary of the parallel experiment executor.
+        return (UnknownPolicyError, (self.name, self.known))
+
 
 class EstimationError(ReproError):
     """The hidden-load estimator was queried in an invalid state."""

@@ -1,6 +1,7 @@
 """Experiment harness: configuration, simulation assembly, figures."""
 
 from .config import PAPER_DEFAULTS, PAPER_DURATION, SimulationConfig
+from .executor import ExecutionStats, ParallelExecutor, resolve_workers
 from .figures import (
     FIGURES,
     FigureResult,
@@ -37,6 +38,7 @@ from .reporting import (
     figure_to_csv,
     format_table,
     render_comparison,
+    render_execution,
     render_figure,
     render_result,
 )
@@ -46,6 +48,7 @@ from .validation import ValidationCheck, ValidationReport, validate_run
 
 __all__ = [
     "CHECKS",
+    "ExecutionStats",
     "FIGURES",
     "FigureResult",
     "GridResult",
@@ -53,6 +56,7 @@ __all__ = [
     "OVERLOAD_THRESHOLD",
     "PAPER_DEFAULTS",
     "PAPER_DURATION",
+    "ParallelExecutor",
     "ReplicationSet",
     "Series",
     "Simulation",
@@ -80,8 +84,10 @@ __all__ = [
     "figure_to_csv",
     "format_table",
     "render_comparison",
+    "render_execution",
     "render_figure",
     "render_result",
+    "resolve_workers",
     "run_grid",
     "run_replications",
     "run_simulation",

@@ -1,0 +1,203 @@
+"""Process-parallel execution of independent experiment cells.
+
+The paper's studies are *embarrassingly parallel*: every cell of a
+factorial grid, every value of a sweep, and every replication is one
+fully independent simulation whose seed is derived up front from the
+master seed (:func:`repro.sim.rng.derive_seed`).  A simulation is a pure
+function of its :class:`~repro.experiments.config.SimulationConfig`, so
+the same set of configs produces bit-identical results no matter how
+many worker processes run them or in which order they complete.
+
+:class:`ParallelExecutor` exploits that:
+
+* ``workers=1`` (the default everywhere) is a dependency-free serial
+  loop — no processes, no pickling, and exceptions propagate with their
+  original traceback;
+* ``workers>1`` fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, submitting *chunks*
+  of cells to amortize inter-process overhead, and reassembles results
+  in submission order so outputs are independent of completion order;
+* every cell's wall-clock time is captured (inside the worker, around
+  the cell alone) and summarized in an :class:`ExecutionStats`, whose
+  ``speedup`` compares the sum of per-cell times against the observed
+  wall time.
+
+The price of ``workers>1`` is process startup plus pickling each
+:class:`SimulationConfig` out and each
+:class:`~repro.experiments.metrics.SimulationResult` back; see
+``docs/PERFORMANCE.md`` for measurements and worker-count guidance.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import ConfigurationError
+from .config import SimulationConfig
+from .metrics import SimulationResult
+from .simulation import run_simulation
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Validate a worker count; ``None`` means one per available CPU."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+    return int(workers)
+
+
+@dataclass
+class ExecutionStats:
+    """Timing of one batch of cells run through the executor."""
+
+    #: Worker processes used (1 = in-process serial loop).
+    workers: int
+    #: Wall-clock seconds for the whole batch, including pool startup.
+    wall_time: float
+    #: Per-cell wall-clock seconds, in submission order, measured inside
+    #: the worker around the cell function alone.
+    cell_times: List[float]
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cell_times)
+
+    @property
+    def total_cell_time(self) -> float:
+        """Sum of per-cell times — the serial-equivalent workload."""
+        return sum(self.cell_times)
+
+    @property
+    def mean_cell_time(self) -> float:
+        return self.total_cell_time / len(self.cell_times) if self.cell_times else 0.0
+
+    @property
+    def max_cell_time(self) -> float:
+        return max(self.cell_times) if self.cell_times else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over observed wall time (>= 0)."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.total_cell_time / self.wall_time
+
+    def summary_rows(self) -> List[Tuple[str, str]]:
+        """(label, value) pairs for the reporting layer."""
+        return [
+            ("workers", str(self.workers)),
+            ("cells", str(self.cell_count)),
+            ("wall time", f"{self.wall_time:.3f} s"),
+            ("cell time (mean)", f"{self.mean_cell_time:.3f} s"),
+            ("cell time (max)", f"{self.max_cell_time:.3f} s"),
+            ("cell time (total)", f"{self.total_cell_time:.3f} s"),
+            ("speedup vs serial", f"{self.speedup:.2f}x"),
+        ]
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> Tuple[R, float]:
+    """Run one cell and capture its wall time (runs inside the worker)."""
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+def _run_chunk(
+    fn: Callable[[T], R], chunk: Sequence[T]
+) -> List[Tuple[R, float]]:
+    """Worker entry point: run one chunk of cells, timing each."""
+    return [_timed_call(fn, item) for item in chunk]
+
+
+class ParallelExecutor:
+    """Run independent cells serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes. ``1`` (default) runs everything in-process
+        with zero dependencies on :mod:`multiprocessing`; ``None`` uses
+        one worker per available CPU. Values below 1 raise
+        :class:`~repro.errors.ConfigurationError`.
+    chunk_size:
+        Cells submitted per pool task. ``None`` (default) picks
+        ``max(1, cells // (workers * 4))`` — large enough to amortize
+        submission overhead, small enough to keep workers load-balanced.
+        Explicit values below 1 raise
+        :class:`~repro.errors.ConfigurationError`.
+
+    After each :meth:`map` / :meth:`run_simulations` call,
+    :attr:`last_stats` holds the batch's :class:`ExecutionStats`.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        chunk_size: Optional[int] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size!r}"
+            )
+        self.chunk_size = chunk_size
+        self.last_stats: Optional[ExecutionStats] = None
+
+    def _chunks(self, items: List[T]) -> List[List[T]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(items) // (self.workers * 4))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results come back in input order.
+
+        With ``workers=1`` this is a plain loop: ``fn`` and the items
+        need not be picklable and any exception propagates untouched.
+        With ``workers>1``, ``fn`` must be a module-level callable and
+        items/results must pickle; a cell's exception is re-raised here
+        as soon as its chunk is collected.
+        """
+        items = list(items)
+        start = time.perf_counter()
+        if self.workers == 1 or len(items) <= 1:
+            outcomes = [_timed_call(fn, item) for item in items]
+        else:
+            chunks = self._chunks(items)
+            pool_size = min(self.workers, len(chunks))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = [
+                    pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+                ]
+                # Collect in submission order: results are positionally
+                # stable regardless of which worker finishes first.
+                outcomes = [
+                    outcome for future in futures for outcome in future.result()
+                ]
+        wall_time = time.perf_counter() - start
+        self.last_stats = ExecutionStats(
+            workers=self.workers,
+            wall_time=wall_time,
+            cell_times=[elapsed for _, elapsed in outcomes],
+        )
+        return [result for result, _ in outcomes]
+
+    def run_simulations(
+        self, configs: Sequence[SimulationConfig]
+    ) -> List[SimulationResult]:
+        """Run one simulation per config (the common experiment cell)."""
+        return self.map(run_simulation, configs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParallelExecutor workers={self.workers} "
+            f"chunk_size={self.chunk_size}>"
+        )

@@ -136,10 +136,11 @@ def _cdf_figure(
     duration: Optional[float],
     seed: int,
     grid: Sequence[float],
+    workers: int = 1,
 ) -> FigureResult:
     duration = duration if duration is not None else default_duration()
     base = _base_config(duration, seed, heterogeneity=heterogeneity)
-    results = compare_policies(base, policies)
+    results = compare_policies(base, policies, workers=workers)
     series = [
         Series(
             label=policy,
@@ -162,6 +163,7 @@ def fig1(
     duration: Optional[float] = None,
     seed: int = 1,
     grid: Sequence[float] = tuple(MAX_UTILIZATION_GRID),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 1 — deterministic algorithms, heterogeneity 20%."""
     return _cdf_figure(
@@ -172,6 +174,7 @@ def fig1(
         duration=duration,
         seed=seed,
         grid=grid,
+        workers=workers,
     )
 
 
@@ -179,6 +182,7 @@ def fig2(
     duration: Optional[float] = None,
     seed: int = 1,
     grid: Sequence[float] = tuple(MAX_UTILIZATION_GRID),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 2 — probabilistic algorithms, heterogeneity 35%."""
     return _cdf_figure(
@@ -189,6 +193,7 @@ def fig2(
         duration=duration,
         seed=seed,
         grid=grid,
+        workers=workers,
     )
 
 
@@ -202,6 +207,7 @@ def _sweep_figure(
     duration: Optional[float],
     seed: int,
     threshold: float = OVERLOAD_THRESHOLD,
+    workers: int = 1,
     **base_overrides,
 ) -> FigureResult:
     duration = duration if duration is not None else default_duration()
@@ -213,6 +219,7 @@ def _sweep_figure(
             parameter,
             values,
             metric=lambda result: result.prob_max_below(threshold),
+            workers=workers,
         )
         series.append(
             Series(
@@ -235,6 +242,7 @@ def fig3(
     duration: Optional[float] = None,
     seed: int = 1,
     levels: Sequence[int] = tuple(HETEROGENEITY_SWEEP),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 3 — sensitivity to system heterogeneity (20-65%)."""
     return _sweep_figure(
@@ -246,6 +254,7 @@ def fig3(
         values=list(levels),
         duration=duration,
         seed=seed,
+        workers=workers,
     )
 
 
@@ -253,6 +262,7 @@ def fig4(
     duration: Optional[float] = None,
     seed: int = 1,
     thresholds: Sequence[float] = tuple(MIN_TTL_SWEEP),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 4 — sensitivity to the minimum accepted TTL (Het. 20%)."""
     return _sweep_figure(
@@ -264,6 +274,7 @@ def fig4(
         values=list(thresholds),
         duration=duration,
         seed=seed,
+        workers=workers,
         heterogeneity=20,
     )
 
@@ -272,6 +283,7 @@ def fig5(
     duration: Optional[float] = None,
     seed: int = 1,
     thresholds: Sequence[float] = tuple(MIN_TTL_SWEEP),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 5 — sensitivity to the minimum accepted TTL (Het. 50%)."""
     return _sweep_figure(
@@ -283,6 +295,7 @@ def fig5(
         values=list(thresholds),
         duration=duration,
         seed=seed,
+        workers=workers,
         heterogeneity=50,
     )
 
@@ -291,6 +304,7 @@ def fig6(
     duration: Optional[float] = None,
     seed: int = 1,
     errors: Sequence[float] = tuple(ERROR_SWEEP),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 6 — sensitivity to hidden-load estimation error (Het. 20%)."""
     return _sweep_figure(
@@ -302,6 +316,7 @@ def fig6(
         values=list(errors),
         duration=duration,
         seed=seed,
+        workers=workers,
         heterogeneity=20,
     )
 
@@ -310,6 +325,7 @@ def fig7(
     duration: Optional[float] = None,
     seed: int = 1,
     errors: Sequence[float] = tuple(ERROR_SWEEP),
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 7 — sensitivity to hidden-load estimation error (Het. 50%)."""
     return _sweep_figure(
@@ -321,6 +337,7 @@ def fig7(
         values=list(errors),
         duration=duration,
         seed=seed,
+        workers=workers,
         heterogeneity=50,
     )
 

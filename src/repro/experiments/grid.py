@@ -14,9 +14,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .config import SimulationConfig
+from .executor import ExecutionStats, ParallelExecutor
 from .metrics import OVERLOAD_THRESHOLD, SimulationResult
 from .reporting import format_table
-from .simulation import run_simulation
 
 #: One grid cell: parameter assignment -> result.
 Cell = Tuple[Dict[str, object], SimulationResult]
@@ -34,6 +34,9 @@ class GridResult:
 
     parameters: List[str]
     cells: List[Cell] = field(default_factory=list)
+    #: Timing of the batch that filled :attr:`cells` (set by
+    #: :func:`run_grid`; per-cell wall times align with cell order).
+    execution: Optional[ExecutionStats] = None
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -120,6 +123,8 @@ def run_grid(
     base: SimulationConfig,
     axes: Mapping[str, Sequence],
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> GridResult:
     """Run the cartesian product of ``axes`` over ``base``.
 
@@ -131,16 +136,33 @@ def run_grid(
         Mapping of :class:`SimulationConfig` field name to the values it
         takes; every combination is simulated once.
     progress:
-        Optional callback invoked with each assignment before it runs.
+        Optional callback invoked with each assignment before it is
+        submitted (under ``workers>1`` all callbacks fire up front,
+        before any cell completes).
+    workers:
+        Worker processes for the grid's cells (1 = serial). Cell
+        ordering and every metric are identical for any value — each
+        cell's config (seed included) is fixed before submission.
+    executor:
+        A pre-built :class:`ParallelExecutor` to use instead of
+        ``workers``.
     """
     if not axes:
         raise ConfigurationError("need at least one grid axis")
     names = list(axes)
-    grid = GridResult(parameters=names)
-    for combination in itertools.product(*(axes[name] for name in names)):
-        assignment = dict(zip(names, combination))
-        if progress is not None:
+    assignments = [
+        dict(zip(names, combination))
+        for combination in itertools.product(*(axes[name] for name in names))
+    ]
+    if progress is not None:
+        for assignment in assignments:
             progress(assignment)
-        result = run_simulation(base.replace(**assignment))
-        grid.cells.append((assignment, result))
-    return grid
+    runner = executor if executor is not None else ParallelExecutor(workers=workers)
+    results = runner.run_simulations(
+        [base.replace(**assignment) for assignment in assignments]
+    )
+    return GridResult(
+        parameters=names,
+        cells=list(zip(assignments, results)),
+        execution=runner.last_stats,
+    )

@@ -8,8 +8,9 @@ any plotting tool). No plotting dependency is required.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .executor import ExecutionStats
 from .figures import FigureResult
 from .metrics import SimulationResult
 
@@ -108,6 +109,35 @@ def render_comparison(results: Dict[str, SimulationResult]) -> str:
         ],
         rows,
     )
+
+
+#: Per-cell timing lines are listed individually up to this many cells;
+#: larger batches show only the aggregate summary.
+MAX_LISTED_CELLS = 20
+
+
+def render_execution(
+    stats: ExecutionStats, labels: Optional[Sequence[str]] = None
+) -> str:
+    """An execution-timing summary block (see :class:`ExecutionStats`).
+
+    Shows worker count, wall time, per-cell wall-time aggregates and the
+    speedup over the serial-equivalent time. When the batch holds at
+    most :data:`MAX_LISTED_CELLS` cells, each cell's wall time is listed
+    too (``labels``, if given, name the cells in submission order).
+    """
+    lines = [format_table(["execution", "value"], stats.summary_rows())]
+    if 0 < stats.cell_count <= MAX_LISTED_CELLS:
+        rows = []
+        for index, elapsed in enumerate(stats.cell_times):
+            label = (
+                labels[index]
+                if labels is not None and index < len(labels)
+                else f"cell {index}"
+            )
+            rows.append((label, f"{elapsed:.3f} s"))
+        lines.append(format_table(["cell", "wall time"], rows))
+    return "\n\n".join(lines)
 
 
 def _format_value(value: object) -> str:

@@ -16,8 +16,18 @@ from ..errors import ConfigurationError
 from ..sim.rng import derive_seed
 from ..sim.stats import EmpiricalCdf
 from .config import SimulationConfig
+from .executor import ExecutionStats, ParallelExecutor
 from .metrics import OVERLOAD_THRESHOLD, SimulationResult
 from .simulation import run_simulation
+
+
+def _executor(
+    workers: int, executor: Optional[ParallelExecutor]
+) -> ParallelExecutor:
+    """The executor to use: the caller's, or a fresh one for ``workers``."""
+    if executor is not None:
+        return executor
+    return ParallelExecutor(workers=workers)
 
 
 @dataclass
@@ -26,6 +36,9 @@ class ReplicationSet:
 
     config: SimulationConfig
     results: List[SimulationResult]
+    #: Timing of the batch that produced :attr:`results` (set by
+    #: :func:`run_replications`).
+    execution: Optional[ExecutionStats] = None
 
     @property
     def replication_count(self) -> int:
@@ -45,7 +58,13 @@ class ReplicationSet:
     def prob_max_below_ci(
         self, threshold: float = OVERLOAD_THRESHOLD, confidence: float = 0.95
     ) -> Tuple[float, float]:
-        """Across-replication mean and CI half-width of the probability."""
+        """Across-replication mean and CI half-width of the probability.
+
+        Uses a normal critical value; at the low replication counts
+        typical here the half-width is slightly optimistic (too narrow)
+        compared to a Student-t interval — see the statistics section
+        of ``docs/MODELING.md`` for the magnitude and a correction.
+        """
         values = [r.prob_max_below(threshold) for r in self.results]
         n = len(values)
         mean = sum(values) / n
@@ -53,22 +72,34 @@ class ReplicationSet:
             return mean, 0.0
         variance = sum((v - mean) ** 2 for v in values) / (n - 1)
         # Normal critical value; replications are few, so this is a
-        # slightly optimistic but conventional choice for summaries.
+        # slightly optimistic but conventional choice for summaries
+        # (docs/MODELING.md section 7 quantifies the bias).
         z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}.get(round(confidence, 2), 1.960)
         return mean, z * math.sqrt(variance / n)
 
 
 def run_replications(
-    config: SimulationConfig, replications: int = 3
+    config: SimulationConfig,
+    replications: int = 3,
+    workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> ReplicationSet:
-    """Run ``config`` under ``replications`` independent seeds."""
+    """Run ``config`` under ``replications`` independent seeds.
+
+    Each replication's seed is derived up front from ``config.seed``, so
+    the result set is identical for any ``workers`` count.
+    """
     if replications < 1:
         raise ConfigurationError(f"replications must be >= 1, got {replications!r}")
-    results = []
-    for index in range(replications):
-        seed = derive_seed(config.seed, f"replication:{index}")
-        results.append(run_simulation(config.replace(seed=seed)))
-    return ReplicationSet(config=config, results=results)
+    configs = [
+        config.replace(seed=derive_seed(config.seed, f"replication:{index}"))
+        for index in range(replications)
+    ]
+    runner = _executor(workers, executor)
+    results = runner.run_simulations(configs)
+    return ReplicationSet(
+        config=config, results=results, execution=runner.last_stats
+    )
 
 
 def sweep(
@@ -76,6 +107,8 @@ def sweep(
     parameter: str,
     values: Sequence,
     metric: Optional[Callable[[SimulationResult], float]] = None,
+    workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> List[Tuple[object, float, SimulationResult]]:
     """Run ``base`` once per value of ``parameter``.
 
@@ -89,7 +122,14 @@ def sweep(
         Values to assign to the field.
     metric:
         Scalar extracted from each result; defaults to the paper's
-        ``Prob(MaxUtilization < 0.98)``.
+        ``Prob(MaxUtilization < 0.98)``. Applied in the calling process,
+        so it may be any callable (lambdas included) under any
+        ``workers`` count.
+    workers:
+        Worker processes for the sweep's cells (1 = serial).
+    executor:
+        A pre-built :class:`ParallelExecutor` to use instead of
+        ``workers`` (its ``last_stats`` then describes this sweep).
 
     Returns
     -------
@@ -97,19 +137,21 @@ def sweep(
     """
     if metric is None:
         metric = lambda result: result.prob_max_below(OVERLOAD_THRESHOLD)
-    rows = []
-    for value in values:
-        result = run_simulation(base.replace(**{parameter: value}))
-        rows.append((value, metric(result), result))
-    return rows
+    configs = [base.replace(**{parameter: value}) for value in values]
+    results = _executor(workers, executor).run_simulations(configs)
+    return [
+        (value, metric(result), result)
+        for value, result in zip(values, results)
+    ]
 
 
 def compare_policies(
     base: SimulationConfig,
     policies: Sequence[str],
+    workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, SimulationResult]:
     """Run the same scenario under each policy (common random seed)."""
-    return {
-        policy: run_simulation(base.replace(policy=policy))
-        for policy in policies
-    }
+    configs = [base.replace(policy=policy) for policy in policies]
+    results = _executor(workers, executor).run_simulations(configs)
+    return dict(zip(policies, results))

@@ -1,0 +1,154 @@
+"""Integration tests: parallel drivers are bit-identical to serial.
+
+The determinism contract (docs/PERFORMANCE.md): every experiment driver
+derives each cell's full configuration — seed included — before any cell
+runs, so the result set is a pure function of the inputs and must not
+depend on the worker count or on completion order.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.grid import run_grid
+from repro.experiments.runner import (
+    compare_policies,
+    run_replications,
+    sweep,
+)
+
+QUICK = SimulationConfig(policy="RR", duration=600.0, seed=11)
+
+GRID_AXES = {
+    "policy": ["RR", "DAL", "PRR2-TTL/K", "DRR2-TTL/S_K"],
+    "heterogeneity": [20, 50],
+}
+
+
+def _exact_metrics(result):
+    """Every raw measurement that downstream metrics derive from."""
+    return (
+        result.policy,
+        result.max_utilization_samples,
+        result.mean_utilization_per_server,
+        result.dns_resolutions,
+        result.total_hits,
+        result.total_sessions,
+        result.mean_granted_ttl,
+    )
+
+
+class TestGridParallelism:
+    def test_eight_cells_identical_across_worker_counts(self):
+        serial = run_grid(QUICK, GRID_AXES, workers=1)
+        parallel = run_grid(QUICK, GRID_AXES, workers=4)
+        assert len(serial) == len(parallel) == 8
+        for (params_a, result_a), (params_b, result_b) in zip(
+            serial.cells, parallel.cells
+        ):
+            assert params_a == params_b
+            assert _exact_metrics(result_a) == _exact_metrics(result_b)
+
+    def test_pivot_identical_across_worker_counts(self):
+        serial = run_grid(QUICK, GRID_AXES, workers=1)
+        parallel = run_grid(QUICK, GRID_AXES, workers=2)
+        assert serial.pivot("policy", "heterogeneity") == parallel.pivot(
+            "policy", "heterogeneity"
+        )
+
+    def test_execution_stats_attached(self):
+        grid = run_grid(QUICK, {"heterogeneity": [20, 50]}, workers=2)
+        assert grid.execution is not None
+        assert grid.execution.workers == 2
+        assert grid.execution.cell_count == 2
+        assert grid.execution.wall_time > 0
+
+    def test_progress_fires_for_every_cell(self):
+        seen = []
+        run_grid(
+            QUICK, {"heterogeneity": [20, 50]},
+            progress=seen.append, workers=2,
+        )
+        assert seen == [{"heterogeneity": 20}, {"heterogeneity": 50}]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_grid(QUICK, {"heterogeneity": [20]}, workers=0)
+
+
+class TestRunnerParallelism:
+    def test_replications_identical_across_worker_counts(self):
+        serial = run_replications(QUICK, replications=3, workers=1)
+        parallel = run_replications(QUICK, replications=3, workers=2)
+        assert serial.replication_count == parallel.replication_count == 3
+        for a, b in zip(serial.results, parallel.results):
+            assert _exact_metrics(a) == _exact_metrics(b)
+        assert serial.prob_max_below() == parallel.prob_max_below()
+        assert parallel.execution is not None
+        assert parallel.execution.workers == 2
+
+    def test_sweep_identical_across_worker_counts(self):
+        values = [20, 35, 50]
+        serial = sweep(QUICK, "heterogeneity", values, workers=1)
+        parallel = sweep(QUICK, "heterogeneity", values, workers=2)
+        assert [(v, m) for v, m, _ in serial] == [
+            (v, m) for v, m, _ in parallel
+        ]
+        for (_, _, a), (_, _, b) in zip(serial, parallel):
+            assert _exact_metrics(a) == _exact_metrics(b)
+
+    def test_sweep_metric_lambda_allowed_with_workers(self):
+        # Metrics run in the parent process, so unpicklable callables
+        # are fine even under workers > 1.
+        rows = sweep(
+            QUICK, "heterogeneity", [20, 50],
+            metric=lambda r: r.mean_max_utilization, workers=2,
+        )
+        assert len(rows) == 2
+
+    def test_compare_identical_across_worker_counts(self):
+        policies = ["RR", "DAL", "DRR2-TTL/S_K"]
+        serial = compare_policies(QUICK, policies, workers=1)
+        parallel = compare_policies(QUICK, policies, workers=2)
+        assert list(serial) == list(parallel) == policies
+        for policy in policies:
+            assert _exact_metrics(serial[policy]) == _exact_metrics(
+                parallel[policy]
+            )
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_replications(QUICK, replications=2, workers=-1)
+
+
+class TestCliWorkers:
+    def test_compare_with_workers(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["compare", "RR", "DAL", "--duration", "600", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup vs serial" in out
+
+    def test_grid_with_workers_matches_serial_output(self, capsys):
+        from repro.cli import main
+
+        argv = [
+            "grid", "--rows", "policy=RR,DAL",
+            "--cols", "heterogeneity=20,50", "--duration", "600",
+        ]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # The pivot table (everything before the timing block) is
+        # identical; timing lines are run-dependent by nature.
+        assert parallel_out.startswith(serial_out.rstrip("\n"))
+
+    def test_serial_invocation_prints_no_timing_block(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "RR", "--duration", "600"]) == 0
+        assert "speedup" not in capsys.readouterr().out
