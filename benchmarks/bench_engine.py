@@ -120,6 +120,48 @@ def test_bench_full_simulation_minute(benchmark):
     assert result.total_hits > 0
 
 
+def test_bench_tracing_overhead_smoke():
+    """Tracing must cost ~nothing when off, and stay cheap when on.
+
+    Times the same seeded simulation with the default ``NullTracer``
+    and with a full ``Tracer(None)``; prints both and the relative
+    overhead. The disabled path is additionally asserted to stay within
+    a generous factor of the enabled one — a machine-independent sanity
+    bound (the tight 2%% budget is checked against the committed
+    baseline by the CI bench job and ``docs/OBSERVABILITY.md``).
+    """
+    import dataclasses
+    import time
+
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.simulation import run_simulation
+
+    untraced = SimulationConfig(
+        policy="DRR2-TTL/S_K", duration=300.0, seed=BENCH_SEED
+    )
+    traced = dataclasses.replace(untraced, trace=True)
+
+    def best_of(config, repetitions=5):
+        timings = []
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            result = run_simulation(config)
+            timings.append(time.perf_counter() - start)
+        assert result.total_hits > 0
+        return min(timings)
+
+    best_of(untraced, repetitions=1)  # warm caches/imports
+    off = best_of(untraced)
+    on = best_of(traced)
+    overhead = (on - off) / off * 100.0
+    print()
+    print(f"[tracing off: {off * 1000:.1f} ms  on: {on * 1000:.1f} ms  "
+          f"overhead: {overhead:+.1f}%]")
+    # The untraced path must never cost more than the traced one by a
+    # margin beyond timing noise.
+    assert off <= on * 1.10
+
+
 def test_bench_parallel_grid(benchmark):
     """An 8-cell policy x heterogeneity grid through the executor.
 

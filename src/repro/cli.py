@@ -4,7 +4,13 @@ Subcommands
 -----------
 ``run``
     Run one simulation and print its summary (``--sparkline`` adds a
-    max-utilization timeline and overload episodes).
+    max-utilization timeline and overload episodes; ``--trace CATS``
+    records the selected trace categories and prints the per-category
+    record counts plus the metrics-registry block).
+``trace``
+    Run one traced simulation and write its full observability bundle —
+    result JSON, JSONL trace, provenance manifest — into a directory;
+    or summarize an existing trace file with ``--inspect``.
 ``compare``
     Run several policies on the same scenario and print them side by
     side; ``--paired N`` adds a common-random-numbers paired comparison
@@ -35,8 +41,9 @@ N > 1. See ``docs/PERFORMANCE.md``.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .core.registry import available_policies
 from .experiments.config import SimulationConfig
@@ -48,10 +55,13 @@ from .experiments.reporting import (
     render_comparison,
     render_execution,
     render_figure,
+    render_metrics,
     render_result,
+    render_trace_counts,
 )
 from .experiments.runner import compare_policies
 from .experiments.simulation import run_simulation
+from .sim.tracing import TRACE_CATEGORIES
 
 
 def _print_execution(
@@ -112,6 +122,27 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_trace_categories(text: str) -> Optional[Tuple[str, ...]]:
+    """``"dns,alarm"`` -> ``("dns", "alarm")``; ``"all"`` -> ``None``."""
+    if text.strip().lower() == "all":
+        return None
+    return tuple(c.strip() for c in text.split(",") if c.strip())
+
+
+def _print_observability(result) -> None:
+    """Print the trace-count and metrics blocks of a traced run."""
+    if result.trace is not None:
+        print()
+        print(
+            render_trace_counts(
+                result.trace_category_counts(), len(result.trace)
+            )
+        )
+    if result.metrics:
+        print()
+        print(render_metrics(result.metrics))
+
+
 def _scenario_config(
     args: argparse.Namespace, policy: str, **extra
 ) -> SimulationConfig:
@@ -150,7 +181,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the full analysis dossier instead of the summary",
     )
+    run_parser.add_argument(
+        "--trace", metavar="CATEGORIES", default=None,
+        help="record a trace: comma-separated categories "
+        f"({', '.join(TRACE_CATEGORIES)}) or 'all'; prints the "
+        "per-category counts and the metrics block, and --save then also "
+        "writes a .trace.jsonl and .manifest.json next to the result",
+    )
     _add_scenario_arguments(run_parser)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one traced simulation and write its observability "
+        "bundle (result + JSONL trace + provenance manifest)",
+    )
+    trace_parser.add_argument(
+        "policy", nargs="?", default=None,
+        help="policy name (required unless --inspect is used)",
+    )
+    trace_parser.add_argument(
+        "--categories", metavar="CATEGORIES", default="all",
+        help="comma-separated trace categories "
+        f"({', '.join(TRACE_CATEGORIES)}) or 'all' (default)",
+    )
+    trace_parser.add_argument(
+        "--out", metavar="DIR", default="repro-trace",
+        help="output directory for the bundle (default: ./repro-trace)",
+    )
+    trace_parser.add_argument(
+        "--inspect", metavar="FILE", default=None,
+        help="summarize an existing .trace.jsonl instead of running",
+    )
+    _add_scenario_arguments(trace_parser)
 
     compare_parser = sub.add_parser("compare", help="compare several policies")
     compare_parser.add_argument(
@@ -229,10 +291,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "run":
+        traced = args.trace is not None
         config = _scenario_config(
             args,
             args.policy,
             keep_utilization_series=args.sparkline or args.report,
+            trace=traced,
+            trace_categories=(
+                _parse_trace_categories(args.trace) if traced else None
+            ),
         )
         result = run_simulation(config)
         if args.report:
@@ -241,11 +308,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(full_report(result))
         else:
             print(render_result(result))
+        if traced:
+            _print_observability(result)
         if args.save:
             from .experiments.persistence import save_json
 
             path = save_json(result, args.save)
             print(f"[result saved to {path}]")
+            if traced:
+                from .obs import write_manifest, write_trace_jsonl
+
+                base = (
+                    path.with_suffix("") if path.suffix == ".json" else path
+                )
+                trace_path = write_trace_jsonl(
+                    result.trace, pathlib.Path(f"{base}.trace.jsonl")
+                )
+                manifest_path = write_manifest(
+                    config, pathlib.Path(f"{base}.manifest.json")
+                )
+                print(f"[trace saved to {trace_path}]")
+                print(f"[manifest saved to {manifest_path}]")
         if args.sparkline:
             from .analysis import max_series, overload_episodes, sparkline
 
@@ -264,6 +347,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"  ... and {len(episodes) - 10} more")
             else:
                 print("no overload episodes (>= 0.98)")
+        return 0
+
+    if args.command == "trace":
+        from .obs import category_counts, read_trace_jsonl
+
+        if args.inspect:
+            records = read_trace_jsonl(args.inspect)
+            print(render_trace_counts(category_counts(records), len(records)))
+            return 0
+        if not args.policy:
+            print("error: a policy name is required (or use --inspect)",
+                  file=sys.stderr)
+            return 2
+        config = _scenario_config(
+            args,
+            args.policy,
+            trace=True,
+            trace_categories=_parse_trace_categories(args.categories),
+        )
+        result = run_simulation(config)
+        from .experiments.persistence import save_run_artifacts
+
+        paths = save_run_artifacts(
+            result,
+            args.out,
+            extra={"command": "trace", "categories": args.categories},
+        )
+        print(render_result(result))
+        _print_observability(result)
+        print()
+        for artifact, path in sorted(paths.items()):
+            print(f"[{artifact} saved to {path}]")
         return 0
 
     if args.command == "compare":

@@ -9,14 +9,20 @@ cache. It composes two pluggable strategies:
   (:mod:`repro.core` — RR, RR2, PRR, PRR2, DRR, DRR2, DAL, ...), and
 * a *TTL policy* choosing how long the mapping stays valid
   (:mod:`repro.core.ttl` — constant, TTL/2, TTL/K, TTL/S_*).
+
+Observability: each resolution can emit one ``"dns"`` trace record —
+the decision the paper's analysis revolves around (which server, for how
+long, for a domain of which hidden-load weight) — and the standing
+counters are registered into the run's metrics registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from ..sim.stats import RunningStats
+from ..sim.tracing import NullTracer
 from .records import AddressRecord
 
 
@@ -45,12 +51,40 @@ class AuthoritativeDns:
         Object with ``select(domain_id, now) -> server_id``.
     ttl_policy:
         Object with ``ttl_for(domain_id, server_id, now) -> float``.
+    tracer:
+        Optional tracer; emits one ``"dns"`` record per resolution.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; the DNS registers
+        pull callbacks for its resolution count and mean granted TTL.
+    domain_weight:
+        Optional ``domain_id -> float`` callback returning the domain's
+        estimated hidden-load weight, included in ``"dns"`` records.
+    policy_label:
+        Canonical policy name for trace payloads (defaults to the
+        scheduler's class name).
     """
 
-    def __init__(self, scheduler, ttl_policy):
+    def __init__(
+        self,
+        scheduler,
+        ttl_policy,
+        tracer=None,
+        metrics=None,
+        domain_weight: Optional[Callable[[int], float]] = None,
+        policy_label: Optional[str] = None,
+    ):
         self.scheduler = scheduler
         self.ttl_policy = ttl_policy
         self.stats = DnsStats()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.domain_weight = domain_weight
+        self.policy_label = policy_label or type(scheduler).__name__
+        if metrics is not None:
+            metrics.register("dns.resolutions", lambda: self.stats.resolutions)
+            metrics.register(
+                "dns.mean_granted_ttl",
+                lambda: self.stats.ttl.mean if self.stats.ttl.count else 0.0,
+            )
 
     def resolve(self, domain_id: int, now: float) -> AddressRecord:
         """Handle one address-mapping request from ``domain_id``."""
@@ -62,6 +96,22 @@ class AuthoritativeDns:
             # TTL through this hook.
             notify(domain_id, server_id, ttl, now)
         self.stats.record(domain_id, server_id, ttl)
+        if self.tracer.enabled:
+            self.tracer.record(
+                now,
+                "dns",
+                {
+                    "policy": self.policy_label,
+                    "domain": domain_id,
+                    "server": server_id,
+                    "ttl": ttl,
+                    "weight": (
+                        self.domain_weight(domain_id)
+                        if self.domain_weight is not None
+                        else None
+                    ),
+                },
+            )
         return AddressRecord(server_id=server_id, ttl=ttl, issued_at=now)
 
     def address_request_rate(self, elapsed: float) -> float:

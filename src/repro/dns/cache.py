@@ -4,11 +4,29 @@ Entries expire by wall-clock (simulation) time rather than by explicit
 invalidation — exactly the DNS caching semantics that make the scheduling
 problem hard: once an entry is cached, every lookup it serves is invisible
 to the authoritative DNS until the TTL runs out.
+
+Time contract
+-------------
+Every mutating or time-parameterized call (``get``, ``put``,
+``contains``, ``live_count``, ``expires_at``, ``purge_expired``) observes
+its ``now`` argument and advances an internal high-water clock; the
+zero-argument views (``__contains__``, ``__len__``) evaluate expiry
+against that clock. All views therefore agree with ``get``: an entry
+whose expiry time has been reached (``now >= expires_at``) is absent —
+not a member, not counted, and without an expiry time — whether or not it
+has been physically removed yet. Removal itself stays lazy (on ``get`` or
+``purge_expired``), so ``stats.expirations`` counts each expired entry
+exactly once.
+
+``now`` and ``ttl`` must be finite: a NaN or infinite TTL would create an
+entry that no comparison against the clock can ever expire, silently
+wedging the cache (see ``tests/unit/test_dns_cache.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -39,9 +57,25 @@ class TtlCache:
     def __init__(self):
         self._entries: Dict[Hashable, Tuple[Any, float]] = {}
         self.stats = CacheStats()
+        #: High-water mark of every ``now`` observed so far; the clock
+        #: the zero-argument views (``in``, ``len``) evaluate against.
+        self._clock = 0.0
+
+    @property
+    def clock(self) -> float:
+        """The latest time this cache has observed."""
+        return self._clock
+
+    def _observe(self, now: float) -> float:
+        if not math.isfinite(now):
+            raise ConfigurationError(f"now must be finite, got {now!r}")
+        if now > self._clock:
+            self._clock = now
+        return now
 
     def get(self, key: Hashable, now: float) -> Optional[Any]:
         """The cached value for ``key``, or ``None`` if absent/expired."""
+        self._observe(now)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -60,10 +94,13 @@ class TtlCache:
 
         A zero TTL is accepted but the entry is immediately stale — this
         mirrors real resolvers, which may hand the answer to the one
-        in-flight query but never serve it again.
+        in-flight query but never serve it again. Non-finite TTLs (NaN,
+        inf) are rejected: ``now >= now + nan`` is always false, so such
+        an entry could never expire.
         """
-        if ttl < 0:
-            raise ConfigurationError(f"TTL must be >= 0, got {ttl!r}")
+        if not math.isfinite(ttl) or ttl < 0:
+            raise ConfigurationError(f"TTL must be finite and >= 0, got {ttl!r}")
+        self._observe(now)
         self._entries[key] = (value, now + ttl)
         self.stats.insertions += 1
 
@@ -71,13 +108,42 @@ class TtlCache:
         """Drop ``key`` from the cache; returns whether it was present."""
         return self._entries.pop(key, None) is not None
 
-    def expires_at(self, key: Hashable) -> Optional[float]:
-        """Expiry time of the entry for ``key``, if present."""
+    def contains(self, key: Hashable, now: Optional[float] = None) -> bool:
+        """Whether ``get(key, now)`` would hit (without touching stats).
+
+        ``now`` defaults to the internal clock. Unlike ``get`` this never
+        removes the entry, so interleaved membership probes do not
+        perturb ``stats``.
+        """
+        now = self._clock if now is None else self._observe(now)
         entry = self._entries.get(key)
-        return entry[1] if entry is not None else None
+        return entry is not None and now < entry[1]
+
+    def live_count(self, now: Optional[float] = None) -> int:
+        """Number of entries that are not expired as of ``now``.
+
+        ``now`` defaults to the internal clock.
+        """
+        now = self._clock if now is None else self._observe(now)
+        return sum(1 for _, expires_at in self._entries.values() if now < expires_at)
+
+    def expires_at(self, key: Hashable, now: Optional[float] = None) -> Optional[float]:
+        """Expiry time of the *live* entry for ``key``, else ``None``.
+
+        Agrees with ``get``/``contains``: an entry that has already
+        expired as of ``now`` (default: the internal clock) has no expiry
+        time to report — callers must not treat a stale timestamp as a
+        promise of future validity.
+        """
+        now = self._clock if now is None else self._observe(now)
+        entry = self._entries.get(key)
+        if entry is None or now >= entry[1]:
+            return None
+        return entry[1]
 
     def purge_expired(self, now: float) -> int:
         """Remove all expired entries; returns how many were removed."""
+        self._observe(now)
         stale = [k for k, (_, exp) in self._entries.items() if now >= exp]
         for key in stale:
             del self._entries[key]
@@ -85,7 +151,7 @@ class TtlCache:
         return len(stale)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self.live_count()
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        return self.contains(key)

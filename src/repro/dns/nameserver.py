@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..sim.tracing import NullTracer
 from .cache import TtlCache
 from .records import AddressRecord
 
@@ -51,6 +52,9 @@ class LocalNameServer:
         The substitute TTL used in ``"default"`` override mode.
     override_mode:
         ``"clamp"`` or ``"default"`` (see module docstring).
+    tracer:
+        Optional tracer; emits one ``"ns"`` record per resolution
+        (cache hit or authoritative fetch, with override details).
     """
 
     OVERRIDE_MODES = ("clamp", "default")
@@ -62,6 +66,7 @@ class LocalNameServer:
         min_accepted_ttl: float = 0.0,
         default_ttl: float = DEFAULT_NS_TTL,
         override_mode: str = "clamp",
+        tracer=None,
     ):
         if min_accepted_ttl < 0:
             raise ConfigurationError(
@@ -80,6 +85,7 @@ class LocalNameServer:
         self.default_ttl = float(default_ttl)
         self.override_mode = override_mode
         self.cache = TtlCache()
+        self.tracer = tracer if tracer is not None else NullTracer()
         #: Number of recommended TTLs this NS overrode.
         self.overridden_ttls = 0
 
@@ -103,13 +109,39 @@ class LocalNameServer:
         """
         cached: Optional[AddressRecord] = self.cache.get(SITE_KEY, now)
         if cached is not None:
+            if self.tracer.enabled:
+                self.tracer.record(
+                    now,
+                    "ns",
+                    {
+                        "domain": self.domain_id,
+                        "hit": True,
+                        "server": cached.server_id,
+                        "expires_at": self.cache.expires_at(SITE_KEY),
+                    },
+                )
             return cached, True
         record = self.upstream(self.domain_id, now)
-        ttl = self.effective_ttl(record.ttl)
-        if ttl != record.ttl:
+        recommended = record.ttl
+        ttl = self.effective_ttl(recommended)
+        overridden = ttl != recommended
+        if overridden:
             self.overridden_ttls += 1
             record = record.with_ttl(ttl)
         self.cache.put(SITE_KEY, record, ttl, now)
+        if self.tracer.enabled:
+            self.tracer.record(
+                now,
+                "ns",
+                {
+                    "domain": self.domain_id,
+                    "hit": False,
+                    "server": record.server_id,
+                    "recommended_ttl": recommended,
+                    "effective_ttl": ttl,
+                    "overridden": overridden,
+                },
+            )
         return record, False
 
     def __repr__(self) -> str:

@@ -44,6 +44,12 @@ class ResolutionChain:
         :class:`~repro.dns.nameserver.LocalNameServer`.
     nameservers_per_domain:
         Size of each domain's NS set (paper base model: 1).
+    tracer:
+        Optional tracer, handed to every NS (``"ns"`` records).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; the chain
+        registers its cache/authoritative answer counters and the
+        aggregate TTL-override count.
     """
 
     def __init__(
@@ -54,6 +60,8 @@ class ResolutionChain:
         default_ttl: float = DEFAULT_NS_TTL,
         override_mode: str = "clamp",
         nameservers_per_domain: int = 1,
+        tracer=None,
+        metrics=None,
     ):
         if domain_count < 1:
             raise ConfigurationError(f"domain_count must be >= 1, got {domain_count!r}")
@@ -72,6 +80,7 @@ class ResolutionChain:
                     min_accepted_ttl=min_accepted_ttl,
                     default_ttl=default_ttl,
                     override_mode=override_mode,
+                    tracer=tracer,
                 )
                 for _ in range(nameservers_per_domain)
             ]
@@ -86,6 +95,15 @@ class ResolutionChain:
         self.cache_answers = 0
         #: Resolutions answered by the authoritative DNS.
         self.authoritative_answers = 0
+        if metrics is not None:
+            metrics.register("ns.cache_answers", lambda: self.cache_answers)
+            metrics.register(
+                "ns.authoritative_answers", lambda: self.authoritative_answers
+            )
+            metrics.register(
+                "ns.ttl_overrides",
+                lambda: sum(self.ttl_override_counts().values()),
+            )
 
     def nameserver_for(self, domain_id: int, client_id: int = 0) -> LocalNameServer:
         """The NS a given client of ``domain_id`` is configured to use."""

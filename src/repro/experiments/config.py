@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..sim.distributions import DiscreteUniform, Exponential, Geometric
+from ..sim.tracing import TRACE_CATEGORIES
 from ..web.cluster import (
     DEFAULT_TOTAL_CAPACITY,
     HETEROGENEITY_LEVELS,
@@ -139,8 +140,12 @@ class SimulationConfig:
     warmup: float = 0.0
     #: Master random seed.
     seed: int = 1
-    #: Record a trace of sessions/alarms (slower; for analysis).
+    #: Record a trace of the run (slower; for analysis). See
+    #: :data:`repro.sim.tracing.TRACE_CATEGORIES` for what gets traced.
     trace: bool = False
+    #: Categories to trace when ``trace`` is on (``None`` = all). Must be
+    #: a subset of :data:`repro.sim.tracing.TRACE_CATEGORIES`.
+    trace_categories: Optional[Tuple[str, ...]] = None
     #: Retain the full per-interval utilization vectors in the result
     #: (enables the :mod:`repro.analysis` time-series tools).
     keep_utilization_series: bool = False
@@ -201,6 +206,16 @@ class SimulationConfig:
                 )
         if self.hits_per_page[0] < 1 or self.hits_per_page[1] < self.hits_per_page[0]:
             raise ConfigurationError(f"bad hits_per_page {self.hits_per_page!r}")
+        if self.trace_categories is not None:
+            # Normalize (JSON round-trips lists) and validate.
+            categories = tuple(self.trace_categories)
+            object.__setattr__(self, "trace_categories", categories)
+            unknown = [c for c in categories if c not in TRACE_CATEGORIES]
+            if unknown:
+                known = ", ".join(TRACE_CATEGORIES)
+                raise ConfigurationError(
+                    f"unknown trace categories {unknown!r}; known: {known}"
+                )
 
     # -- factories ---------------------------------------------------------
 

@@ -101,6 +101,9 @@ class SimulationResult:
     config: Optional[object] = None
     #: Optional trace records (when tracing was enabled).
     trace: Optional[List] = None
+    #: Snapshot of the run's metrics registry (flat name -> value dict;
+    #: see :mod:`repro.obs.metrics`).
+    metrics: Optional[Dict] = None
     #: Optional per-interval ``(time, [u_1..u_N])`` vectors (when
     #: ``keep_utilization_series`` was enabled).
     utilization_series: Optional[List[Tuple[float, List[float]]]] = None
@@ -131,6 +134,20 @@ class SimulationResult:
         if not samples:
             raise SimulationError("no samples collected")
         return sum(samples) / len(samples)
+
+    def trace_category_counts(self) -> Dict[str, int]:
+        """Per-category record counts of the run's trace (empty if none).
+
+        For a fixed config and seed these counts are bit-identical
+        however the run was executed — the reproducibility fingerprint
+        checked by the observability tests.
+        """
+        if not self.trace:
+            return {}
+        counts: Dict[str, int] = {}
+        for record in self.trace:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return dict(sorted(counts.items()))
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of the headline numbers (for reports/CSV)."""

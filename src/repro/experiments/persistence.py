@@ -5,8 +5,11 @@ plain-JSON artifact so analysis can be re-run without re-simulating, and
 so CI can diff regenerated figures against committed baselines.
 
 Only data is serialized — configs round-trip into
-:class:`~repro.experiments.config.SimulationConfig` kwargs, traces and
-utilization series are included when present.
+:class:`~repro.experiments.config.SimulationConfig` kwargs, metrics and
+utilization series are included when present. Trace records are *not*
+embedded in the result JSON (they can dwarf it); :func:`save_run_artifacts`
+writes them as a JSONL sidecar, together with a provenance manifest, next
+to the result — the full observability bundle of one run.
 """
 
 from __future__ import annotations
@@ -14,9 +17,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from ..errors import ConfigurationError
+from ..obs.export import write_trace_jsonl
+from ..obs.provenance import write_manifest
 from .config import SimulationConfig
 from .figures import FigureResult, Series
 from .metrics import SimulationResult
@@ -71,6 +76,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             if isinstance(result.config, SimulationConfig)
             else None
         ),
+        "metrics": result.metrics,
         "utilization_series": result.utilization_series,
     }
 
@@ -103,6 +109,7 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         total_sessions=data["total_sessions"],
         duration=data["duration"],
         config=config_from_dict(config) if config else None,
+        metrics=data.get("metrics"),
         utilization_series=(
             [(now, list(vector)) for now, vector in series]
             if series
@@ -164,6 +171,35 @@ def save_json(obj, path: PathLike) -> pathlib.Path:
     path = pathlib.Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
+
+
+def save_run_artifacts(
+    result: SimulationResult,
+    directory: PathLike,
+    *,
+    stem: str = "run",
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, pathlib.Path]:
+    """Write one run's full observability bundle into ``directory``.
+
+    Always writes ``<stem>.json`` (the result) and — when the result
+    carries its config — ``<stem>.manifest.json`` (provenance: config,
+    seed, package version, git state). When the run was traced,
+    ``<stem>.trace.jsonl`` holds every trace record, one JSON object per
+    line. Returns the written paths keyed by artifact name.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {"result": save_json(result, directory / f"{stem}.json")}
+    if isinstance(result.config, SimulationConfig):
+        paths["manifest"] = write_manifest(
+            result.config, directory / f"{stem}.manifest.json", extra=extra
+        )
+    if result.trace is not None:
+        paths["trace"] = write_trace_jsonl(
+            result.trace, directory / f"{stem}.trace.jsonl"
+        )
+    return paths
 
 
 def load_json(path: PathLike):

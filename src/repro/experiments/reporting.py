@@ -111,6 +111,38 @@ def render_comparison(results: Dict[str, SimulationResult]) -> str:
     )
 
 
+def render_metrics(metrics: Dict[str, object]) -> str:
+    """The metrics-registry summary block of one run.
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict (as
+    carried by ``SimulationResult.metrics``): flat values plus histogram
+    sub-dicts, rendered one row per metric.
+    """
+    rows = []
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, dict):  # time-weighted histogram snapshot
+            if value.get("max") is None:
+                rendered = "no observations"
+            else:
+                rendered = (
+                    f"mean={value['mean']:.4f} max={value['max']:.4f} "
+                    f"windows={value['observations']}"
+                )
+        elif isinstance(value, float):
+            rendered = f"{value:.4f}"
+        else:
+            rendered = str(value)
+        rows.append((name, rendered))
+    return format_table(["metric", "value"], rows)
+
+
+def render_trace_counts(counts: Dict[str, int], total: int) -> str:
+    """The per-category record-count block of one traced run."""
+    rows = [(category, str(count)) for category, count in sorted(counts.items())]
+    rows.append(("(total)", str(total)))
+    return format_table(["trace category", "records"], rows)
+
+
 #: Per-cell timing lines are listed individually up to this many cells;
 #: larger batches show only the aggregate summary.
 MAX_LISTED_CELLS = 20

@@ -20,6 +20,7 @@ from ..core.registry import build_policy, parse_policy_name
 from ..core.state import SchedulerState
 from ..dns.authoritative import AuthoritativeDns
 from ..dns.resolver import ResolutionChain
+from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Environment
 from ..sim.rng import RandomStreams
 from ..sim.tracing import NullTracer, Tracer
@@ -43,7 +44,12 @@ class Simulation:
 
         self.env = Environment()
         self.streams = RandomStreams(config.seed)
-        self.tracer = Tracer() if config.trace else NullTracer()
+        self.tracer = (
+            Tracer(config.trace_categories) if config.trace else NullTracer()
+        )
+        #: Run-wide metrics registry; every subsystem below registers its
+        #: counters/gauges into it (pull-based — zero hot-path cost).
+        self.metrics = MetricsRegistry()
 
         # -- web site -----------------------------------------------------
         self.cluster = config.build_cluster()
@@ -111,7 +117,14 @@ class Simulation:
         )
 
         # -- DNS + name servers -------------------------------------------------
-        self.dns = AuthoritativeDns(self.scheduler, self.ttl_policy)
+        self.dns = AuthoritativeDns(
+            self.scheduler,
+            self.ttl_policy,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            domain_weight=self._domain_weight,
+            policy_label=self.spec.name,
+        )
         self.resolution_chain = ResolutionChain(
             self.dns,
             config.domain_count,
@@ -119,6 +132,8 @@ class Simulation:
             default_ttl=config.ns_default_ttl,
             override_mode=config.ns_override_mode,
             nameservers_per_domain=config.nameservers_per_domain,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
         # -- monitoring + alarms -----------------------------------------------
@@ -132,6 +147,8 @@ class Simulation:
                 self.cluster.server_count,
                 threshold=config.alarm_threshold,
                 listener=self._on_alarm,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
         else:
             self.alarm_protocol = None
@@ -141,6 +158,8 @@ class Simulation:
             interval=config.utilization_interval,
             alarm_protocol=self.alarm_protocol,
             sample_sink=self.collector.sink,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
         # -- workload -------------------------------------------------------------
@@ -162,14 +181,30 @@ class Simulation:
             dynamics=dynamics,
             client_address_caching=config.client_address_caching,
             layout=self.layout,
+            metrics=self.metrics,
         )
 
+    def _domain_weight(self, domain_id: int) -> float:
+        """Estimated hidden-load share of ``domain_id`` (trace payloads)."""
+        return self.estimator.shares()[domain_id]
+
     def _on_alarm(self, now: float, server_id: int, alarmed: bool) -> None:
-        """Forward alarm transitions to the scheduler state (and trace)."""
+        """Forward alarm transitions into the scheduler state.
+
+        The :class:`AlarmProtocol` itself emits the ``"alarm"`` record;
+        here the consequence for scheduling — the eligible-server set
+        shrinking or regrowing — is traced as a ``"sched"`` record.
+        """
         self.state.set_alarm(now, server_id, alarmed)
         if self.tracer.enabled:
             self.tracer.record(
-                now, "alarm", {"server": server_id, "alarmed": alarmed}
+                now,
+                "sched",
+                {
+                    "server": server_id,
+                    "excluded": alarmed,
+                    "eligible": self.state.eligible_servers(),
+                },
             )
 
     def run(self) -> SimulationResult:
@@ -235,6 +270,7 @@ class Simulation:
             duration=measured,
             config=config,
             trace=list(self.tracer) if self.tracer.enabled else None,
+            metrics=self.metrics.snapshot(),
             utilization_series=self.collector.series,
         )
 

@@ -1,0 +1,58 @@
+"""Unified observability layer: metrics, trace export, provenance.
+
+Three cooperating pieces sit on top of the
+:mod:`repro.sim.tracing` tracer skeleton:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and time-weighted histograms that every simulation subsystem
+  registers into (pull-based, so the hot path pays nothing);
+* :mod:`repro.obs.export` — JSONL serialization of trace records and the
+  per-category count fingerprint of a traced run;
+* :mod:`repro.obs.provenance` — per-run manifests (config, seed, package
+  version, git state) written next to experiment outputs.
+
+See ``docs/OBSERVABILITY.md`` for the category catalogue, the JSONL
+schema and the measured overhead numbers.
+"""
+
+from .export import (
+    category_counts,
+    read_trace_jsonl,
+    record_from_dict,
+    record_to_dict,
+    write_trace_jsonl,
+)
+from .metrics import (
+    UTILIZATION_BINS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+from .provenance import (
+    MANIFEST_KIND,
+    MANIFEST_VERSION,
+    build_manifest,
+    git_describe,
+    read_manifest,
+    write_manifest,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MANIFEST_KIND",
+    "MANIFEST_VERSION",
+    "MetricsRegistry",
+    "TimeWeightedHistogram",
+    "UTILIZATION_BINS",
+    "build_manifest",
+    "category_counts",
+    "git_describe",
+    "read_manifest",
+    "read_trace_jsonl",
+    "record_from_dict",
+    "record_to_dict",
+    "write_trace_jsonl",
+    "write_manifest",
+]

@@ -1,0 +1,231 @@
+"""Instrument types and the metrics registry.
+
+The registry is the pull-based half of the observability layer (the
+:mod:`repro.sim.tracing` tracer is the push-based half). Subsystems
+register *instruments* — :class:`Counter`, :class:`Gauge`,
+:class:`TimeWeightedHistogram` — or plain zero-argument callbacks under
+dotted names (``dns.resolutions``, ``ns.cache_answers``, ...), and a
+single :meth:`MetricsRegistry.snapshot` call materializes every value as
+a flat, JSON-safe dictionary.
+
+Design constraint: the simulation hot path must not slow down when
+nobody is looking. Callback registration costs one dict insert at
+construction time and nothing per event, so subsystems register their
+existing statistics (which they maintain anyway) rather than double
+counting. Push-style instruments are reserved for low-frequency code
+paths (one utilization window every ``utilization_interval`` simulated
+seconds, for example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Default bin edges for utilization-valued histograms: the thresholds
+#: the paper's metrics care about (0.9 = alarm threshold theta, 0.98 =
+#: the overload indicator).
+UTILIZATION_BINS = (0.5, 0.75, 0.9, 0.98)
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time float instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class TimeWeightedHistogram:
+    """A histogram of a piecewise-constant signal, weighted by time.
+
+    ``observe(now, value)`` declares that the signal took ``value`` from
+    the *previous* observation time up to ``now`` — the natural reading
+    for periodically sampled quantities like windowed utilization, where
+    each sample summarizes the interval that just closed.
+    """
+
+    def __init__(self, name: str, bins: Sequence[float] = UTILIZATION_BINS):
+        edges = tuple(float(edge) for edge in bins)
+        if list(edges) != sorted(set(edges)):
+            raise ConfigurationError(
+                f"histogram bins must be strictly increasing, got {bins!r}"
+            )
+        self.name = name
+        self.bins = edges
+        #: Seconds spent at a value < edge, per edge, plus a final
+        #: overflow bucket (value >= last edge).
+        self.bucket_seconds: List[float] = [0.0] * (len(edges) + 1)
+        self.total_seconds = 0.0
+        self._weighted_sum = 0.0
+        self._last_time: Optional[float] = None
+        self.observations = 0
+        self.maximum: Optional[float] = None
+
+    def observe(self, now: float, value: float) -> None:
+        """Record that the signal was ``value`` since the last call."""
+        value = float(value)
+        self.observations += 1
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self._last_time is not None:
+            width = now - self._last_time
+            if width < 0:
+                raise ConfigurationError(
+                    f"histogram {self.name!r} observed time going backwards"
+                )
+            index = 0
+            while index < len(self.bins) and value >= self.bins[index]:
+                index += 1
+            self.bucket_seconds[index] += width
+            self.total_seconds += width
+            self._weighted_sum += value * width
+        self._last_time = now
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted mean of the signal (0 before two observations)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self._weighted_sum / self.total_seconds
+
+    def fraction_below(self, edge: float) -> float:
+        """Fraction of covered time the signal spent below ``edge``.
+
+        ``edge`` must be one of the configured bin edges.
+        """
+        if edge not in self.bins:
+            raise ConfigurationError(
+                f"{edge!r} is not an edge of histogram {self.name!r}"
+            )
+        if self.total_seconds <= 0:
+            return 0.0
+        index = self.bins.index(edge)
+        return sum(self.bucket_seconds[: index + 1]) / self.total_seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe summary of the histogram's state."""
+        return {
+            "mean": self.mean,
+            "max": self.maximum,
+            "observations": self.observations,
+            "total_seconds": self.total_seconds,
+            "bins": list(self.bins),
+            "bucket_seconds": list(self.bucket_seconds),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus pull callbacks, snapshotted on demand.
+
+    Names are dotted paths; the segment before the first dot is the
+    subsystem (``dns``, ``ns``, ``alarm``, ``util``, ``workload``, ...).
+    Registering the same name twice raises
+    :class:`~repro.errors.ConfigurationError` — a double registration is
+    always a wiring bug.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Any] = {}
+        self._callbacks: Dict[str, Callable[[], Any]] = {}
+
+    def _claim(self, name: str) -> None:
+        if name in self._instruments or name in self._callbacks:
+            raise ConfigurationError(f"metric {name!r} already registered")
+
+    def counter(self, name: str) -> Counter:
+        """Create and register a :class:`Counter`."""
+        self._claim(name)
+        instrument = Counter(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Create and register a :class:`Gauge`."""
+        self._claim(name)
+        instrument = Gauge(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def histogram(
+        self, name: str, bins: Sequence[float] = UTILIZATION_BINS
+    ) -> TimeWeightedHistogram:
+        """Create and register a :class:`TimeWeightedHistogram`."""
+        self._claim(name)
+        instrument = TimeWeightedHistogram(name, bins)
+        self._instruments[name] = instrument
+        return instrument
+
+    def register(self, name: str, callback: Callable[[], Any]) -> None:
+        """Register a zero-argument pull callback under ``name``.
+
+        The callback is invoked at snapshot time only — the subsystem
+        pays nothing per event for being observable.
+        """
+        self._claim(name)
+        self._callbacks[name] = callback
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        return sorted((*self._instruments, *self._callbacks))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All current values as a flat, JSON-safe, name-sorted dict."""
+        values: Dict[str, Any] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, TimeWeightedHistogram):
+                values[name] = instrument.snapshot()
+            else:
+                values[name] = instrument.value
+        for name, callback in self._callbacks.items():
+            values[name] = callback()
+        return dict(sorted(values.items()))
+
+    def summary_rows(self) -> List[Tuple[str, str]]:
+        """(name, rendered value) pairs for the reporting layer."""
+        rows: List[Tuple[str, str]] = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):  # histogram snapshot
+                rendered = (
+                    f"mean={value['mean']:.4f} max={value['max']}"
+                    if value["max"] is not None
+                    else "no observations"
+                )
+            elif isinstance(value, float):
+                rendered = f"{value:.4f}"
+            else:
+                rendered = str(value)
+            rows.append((name, rendered))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._instruments) + len(self._callbacks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments or name in self._callbacks
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry metrics={len(self)}>"

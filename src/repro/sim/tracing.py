@@ -13,6 +13,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List
 
+#: The category catalogue of the built-in instrumentation (see
+#: ``docs/OBSERVABILITY.md`` for each category's payload schema):
+#:
+#: ``session``
+#:     One record per client session start (client, domain, server,
+#:     pages, whether the resolution reached the authoritative DNS).
+#: ``dns``
+#:     One record per authoritative DNS decision (policy, domain, chosen
+#:     server, recommended TTL, domain hidden-load weight).
+#: ``ns``
+#:     One record per local-name-server resolution (domain, cache
+#:     hit/miss, effective TTL, whether the NS overrode the
+#:     recommendation).
+#: ``alarm``
+#:     One record per alarm-state transition (server, alarmed flag, the
+#:     utilization that crossed the threshold).
+#: ``util``
+#:     One record per utilization window (the per-server utilization
+#:     vector, its max and argmax).
+#: ``sched``
+#:     One record per change of the scheduler's eligible-server set
+#:     (server, excluded flag, resulting eligible set).
+TRACE_CATEGORIES = ("session", "dns", "ns", "alarm", "util", "sched")
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -59,6 +83,13 @@ class Tracer(NullTracer):
         for record in self.records:
             grouped.setdefault(record.category, []).append(record)
         return grouped
+
+    def category_counts(self) -> Dict[str, int]:
+        """Record counts per category, name-sorted (the run fingerprint)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return dict(sorted(counts.items()))
 
     def filter(self, category: str) -> List[TraceRecord]:
         """All records with the given ``category``, in time order."""

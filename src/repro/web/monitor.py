@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..sim.tracing import NullTracer
 from .server import WebServer
 
 #: Called with (now, server_id, alarmed) on each alarm state transition.
@@ -24,13 +25,20 @@ AlarmListener = Callable[[float, int, bool], None]
 
 
 class AlarmProtocol:
-    """Tracks per-server alarm state against a utilization threshold."""
+    """Tracks per-server alarm state against a utilization threshold.
+
+    Optionally observable: a ``tracer`` receives one ``"alarm"`` record
+    per state transition (the paper's alarm/normal signals), and a
+    ``metrics`` registry receives pull callbacks for the signal counters.
+    """
 
     def __init__(
         self,
         server_count: int,
         threshold: float,
         listener: Optional[AlarmListener] = None,
+        tracer=None,
+        metrics=None,
     ):
         if not 0.0 < threshold <= 1.0:
             raise ConfigurationError(
@@ -38,11 +46,20 @@ class AlarmProtocol:
             )
         self.threshold = float(threshold)
         self.listener = listener
+        self.tracer = tracer if tracer is not None else NullTracer()
         self._alarmed = [False] * server_count
         #: Total alarm signals sent (transitions into the alarmed state).
         self.alarm_signals = 0
         #: Total normal signals sent (transitions out of the alarmed state).
         self.normal_signals = 0
+        if metrics is not None:
+            metrics.register("alarm.signals", lambda: self.alarm_signals)
+            metrics.register(
+                "alarm.normal_signals", lambda: self.normal_signals
+            )
+            metrics.register(
+                "alarm.currently_alarmed", lambda: sum(self._alarmed)
+            )
 
     @property
     def alarmed_servers(self) -> List[int]:
@@ -62,6 +79,16 @@ class AlarmProtocol:
             self.alarm_signals += 1
         else:
             self.normal_signals += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                now,
+                "alarm",
+                {
+                    "server": server_id,
+                    "alarmed": alarmed,
+                    "utilization": utilization,
+                },
+            )
         if self.listener is not None:
             self.listener(now, server_id, alarmed)
 
@@ -83,6 +110,15 @@ class UtilizationMonitor:
     sample_sink:
         Called with ``(now, utilizations)`` after every interval; the
         experiment layer uses it to collect max-utilization samples.
+    tracer:
+        Optional tracer; emits one ``"util"`` record per closed window
+        (the utilization vector, its max and argmax).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; the monitor
+        registers its sample counter and feeds a time-weighted histogram
+        of the per-window maximum utilization (``util.max_utilization``).
+        Both cost one update per window — nothing on the per-request
+        hot path.
     """
 
     def __init__(
@@ -92,6 +128,8 @@ class UtilizationMonitor:
         interval: float,
         alarm_protocol: Optional[AlarmProtocol] = None,
         sample_sink: Optional[Callable[[float, List[float]], None]] = None,
+        tracer=None,
+        metrics=None,
     ):
         if interval <= 0:
             raise ConfigurationError(f"interval must be > 0, got {interval!r}")
@@ -100,6 +138,11 @@ class UtilizationMonitor:
         self.interval = float(interval)
         self.alarm_protocol = alarm_protocol
         self.sample_sink = sample_sink
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._max_histogram = None
+        if metrics is not None:
+            metrics.register("util.windows", lambda: self.samples_taken)
+            self._max_histogram = metrics.histogram("util.max_utilization")
         self.samples_taken = 0
         self.process = env.process(self._run())
 
@@ -109,6 +152,19 @@ class UtilizationMonitor:
             now = self.env.now
             utilizations = [server.end_window(now) for server in self.servers]
             self.samples_taken += 1
+            peak = max(utilizations)
+            if self._max_histogram is not None:
+                self._max_histogram.observe(now, peak)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    now,
+                    "util",
+                    {
+                        "utilizations": list(utilizations),
+                        "max": peak,
+                        "argmax": utilizations.index(peak),
+                    },
+                )
             if self.alarm_protocol is not None:
                 for server_id, utilization in enumerate(utilizations):
                     self.alarm_protocol.observe(now, server_id, utilization)

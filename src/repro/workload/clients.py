@@ -62,6 +62,9 @@ class ClientPopulation:
         the address mapping is typically done at Name Servers and also at
         the clients"). Default ``False`` — one NS lookup per session, the
         paper's base model.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; the population
+        registers pull callbacks for its session/page/hit totals.
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class ClientPopulation:
         dynamics=None,
         client_address_caching: bool = False,
         layout=None,
+        metrics=None,
     ):
         if total_clients < 1:
             raise ConfigurationError(
@@ -106,6 +110,16 @@ class ClientPopulation:
         self.total_hits = 0
         self.total_pages = 0
         self.total_sessions = 0
+        if metrics is not None:
+            metrics.register("workload.sessions", lambda: self.total_sessions)
+            metrics.register("workload.pages", lambda: self.total_pages)
+            metrics.register("workload.hits", lambda: self.total_hits)
+            metrics.register(
+                "workload.dns_routed_hits", lambda: self.dns_routed_hits
+            )
+            metrics.register(
+                "workload.client_cache_hits", lambda: self.client_cache_hits
+            )
         self.client_domains: List[int] = []
         for domain_id, count in enumerate(domains.client_counts(total_clients)):
             self.client_domains.extend([domain_id] * count)

@@ -1,10 +1,26 @@
-"""Model-based property tests for the TTL cache."""
+"""Model-based property tests for the TTL cache.
 
+The central property (see the module docstring of
+:mod:`repro.dns.cache`): every view of the cache — ``get``,
+``contains``/``in``, ``live_count``/``len`` and ``expires_at`` — agrees
+about which entries are live, under arbitrary interleavings of puts,
+gets, invalidations, purges and clock advances. The ``get`` rule checks
+``get`` against the model and the invariant checks every other view
+against the same model, so all views are transitively checked against
+each other.
+"""
+
+import math
+
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.dns.cache import TtlCache
+from repro.errors import ConfigurationError
+
+KEYS = ("a", "b", "c", "d")
 
 
 class CacheModel(RuleBasedStateMachine):
@@ -16,7 +32,14 @@ class CacheModel(RuleBasedStateMachine):
         self.model = {}
         self.now = 0.0
 
-    keys = st.sampled_from(["a", "b", "c", "d"])
+    keys = st.sampled_from(KEYS)
+
+    def _live(self):
+        return {
+            key: (value, expires_at)
+            for key, (value, expires_at) in self.model.items()
+            if self.now < expires_at
+        }
 
     @rule(key=keys, ttl=st.floats(min_value=0.0, max_value=100.0,
                                   allow_nan=False),
@@ -33,6 +56,7 @@ class CacheModel(RuleBasedStateMachine):
             if self.now < expires_at:
                 expected = value
             else:
+                # get() removes the expired entry; mirror it.
                 del self.model[key]
         assert self.cache.get(key, self.now) == expected
 
@@ -54,13 +78,21 @@ class CacheModel(RuleBasedStateMachine):
         assert self.cache.purge_expired(self.now) == len(stale)
 
     @invariant()
-    def cache_never_larger_than_model(self):
-        # The cache may retain expired entries until observed, so it can
-        # only be larger by entries the model already evicted lazily.
-        live = {
-            k for k, (_, exp) in self.model.items() if self.now < exp
-        }
-        assert live <= {k for k in ("a", "b", "c", "d") if k in self.cache}
+    def all_views_agree(self):
+        live = self._live()
+        # contains(key, now) matches the model exactly, and observing
+        # ``now`` brings the internal clock up to date, so the
+        # zero-argument views below must agree as well — without any
+        # entry having been physically removed.
+        for key in KEYS:
+            assert self.cache.contains(key, self.now) == (key in live)
+        assert {key for key in KEYS if key in self.cache} == set(live)
+        assert len(self.cache) == len(live)
+        assert self.cache.live_count(self.now) == len(live)
+        for key in KEYS:
+            expected = live[key][1] if key in live else None
+            assert self.cache.expires_at(key, self.now) == expected
+            assert self.cache.expires_at(key) == expected
 
 
 TestCacheModel = CacheModel.TestCase
@@ -78,3 +110,14 @@ class TestCacheStats:
             cache.get(key, now)
         assert cache.stats.hits + cache.stats.misses == len(operations)
         assert 0.0 <= cache.stats.hit_ratio <= 1.0
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_non_finite_ttls_never_enter_the_cache(self, ttl):
+        cache = TtlCache()
+        if math.isfinite(ttl) and ttl >= 0:
+            cache.put("a", 1, ttl=ttl, now=0.0)
+            assert cache.stats.insertions == 1
+        else:
+            with pytest.raises(ConfigurationError):
+                cache.put("a", 1, ttl=ttl, now=0.0)
+            assert len(cache) == 0

@@ -148,6 +148,73 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "all checks passed" in out
 
+    def test_run_trace_prints_observability(self, capsys):
+        code = main(
+            ["run", "RR", "--duration", "300", "--clients", "50",
+             "--trace", "dns,session"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace category" in out
+        assert "dns" in out
+        assert "dns.resolutions" in out  # metrics block
+
+    def test_run_trace_save_writes_sidecars(self, capsys, tmp_path):
+        out_path = tmp_path / "r.json"
+        code = main(
+            ["run", "RR", "--duration", "300", "--clients", "50",
+             "--trace", "all", "--save", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert (tmp_path / "r.trace.jsonl").exists()
+        assert (tmp_path / "r.manifest.json").exists()
+        from repro.obs import read_manifest, read_trace_jsonl
+
+        assert read_trace_jsonl(tmp_path / "r.trace.jsonl")
+        assert read_manifest(tmp_path / "r.manifest.json")["policy"] == "RR"
+
+    def test_trace_command_writes_bundle(self, capsys, tmp_path):
+        out_dir = tmp_path / "bundle"
+        code = main(
+            ["trace", "RR", "--duration", "300", "--clients", "50",
+             "--categories", "dns,util", "--out", str(out_dir)]
+        )
+        assert code == 0
+        assert (out_dir / "run.json").exists()
+        assert (out_dir / "run.trace.jsonl").exists()
+        assert (out_dir / "run.manifest.json").exists()
+        out = capsys.readouterr().out
+        assert "trace category" in out
+
+    def test_trace_inspect_summarizes_existing_file(self, capsys, tmp_path):
+        out_dir = tmp_path / "bundle"
+        assert main(
+            ["trace", "RR", "--duration", "300", "--clients", "50",
+             "--out", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["trace", "--inspect", str(out_dir / "run.trace.jsonl")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(total)" in out
+
+    def test_trace_without_policy_or_inspect_errors(self, capsys):
+        code = main(["trace"])
+        assert code == 2
+        assert "policy name is required" in capsys.readouterr().err
+
+    def test_run_trace_rejects_unknown_category(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                ["run", "RR", "--duration", "300", "--clients", "50",
+                 "--trace", "nonsense"]
+            )
+
     def test_run_report(self, capsys):
         code = main(
             ["run", "RR", "--duration", "300", "--clients", "50",

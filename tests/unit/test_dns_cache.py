@@ -1,5 +1,7 @@
 """Unit tests for repro.dns.cache."""
 
+import math
+
 import pytest
 
 from repro.dns.cache import TtlCache
@@ -84,3 +86,94 @@ class TestTtlCache:
         cache.put("b", 2, ttl=15.0, now=0.0)
         assert cache.get("a", 10.0) is None
         assert cache.get("b", 10.0) == 2
+
+
+class TestExpiryAwareViews:
+    """Regression: ``in``/``len`` used to count expired entries as present,
+    disagreeing with ``get`` until something happened to remove them."""
+
+    def test_contains_is_expiry_aware(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        assert "www" in cache
+        assert cache.contains("www", now=20.0) is False
+        # The explicit probe advanced the internal clock, so the
+        # zero-argument views agree without any removal having happened.
+        assert "www" not in cache
+        assert len(cache) == 0
+
+    def test_len_counts_only_live_entries(self):
+        cache = TtlCache()
+        cache.put("a", 1, ttl=5.0, now=0.0)
+        cache.put("b", 2, ttl=50.0, now=0.0)
+        assert len(cache) == 2
+        assert cache.live_count(10.0) == 1
+        assert len(cache) == 1  # clock advanced to 10.0 by the probe
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_views_agree_with_get_without_mutating_stats(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        assert cache.contains("www", now=15.0) is False
+        assert cache.stats.lookups == 0
+        assert cache.stats.expirations == 0
+        # get() is the one that physically removes and counts it.
+        assert cache.get("www", 15.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_clock_never_goes_backwards(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        assert cache.contains("www", now=20.0) is False
+        # An older ``now`` does not resurrect the entry for the views.
+        assert cache.clock == 20.0
+        cache.get("other", 5.0)
+        assert cache.clock == 20.0
+        assert "www" not in cache
+
+
+class TestNonFiniteRejection:
+    """Regression: ``ttl < 0`` is False for NaN, so a NaN TTL produced an
+    entry whose expiry no comparison could ever trigger."""
+
+    @pytest.mark.parametrize("ttl", [math.nan, math.inf, -math.inf])
+    def test_non_finite_ttl_rejected(self, ttl):
+        cache = TtlCache()
+        with pytest.raises(ConfigurationError):
+            cache.put("www", "value", ttl=ttl, now=0.0)
+        assert len(cache) == 0
+        assert cache.stats.insertions == 0
+
+    @pytest.mark.parametrize("now", [math.nan, math.inf, -math.inf])
+    def test_non_finite_now_rejected(self, now):
+        cache = TtlCache()
+        with pytest.raises(ConfigurationError):
+            cache.put("www", "value", ttl=10.0, now=now)
+        with pytest.raises(ConfigurationError):
+            cache.get("www", now)
+        with pytest.raises(ConfigurationError):
+            cache.purge_expired(now)
+        with pytest.raises(ConfigurationError):
+            cache.contains("www", now)
+
+
+class TestExpiresAt:
+    """Regression: ``expires_at`` returned stale timestamps for entries
+    that ``get`` would already report as absent."""
+
+    def test_expired_entry_has_no_expiry_time(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=2.0)
+        assert cache.expires_at("www") == 12.0
+        assert cache.expires_at("www", now=12.0) is None
+        assert cache.expires_at("www") is None  # clock advanced
+
+    def test_agrees_with_get(self):
+        cache = TtlCache()
+        cache.put("www", "value", ttl=10.0, now=0.0)
+        for now in (0.0, 5.0, 9.999, 10.0, 50.0):
+            fresh = TtlCache()
+            fresh.put("www", "value", ttl=10.0, now=0.0)
+            has_expiry = fresh.expires_at("www", now=now) is not None
+            assert has_expiry == (fresh.get("www", now) is not None)

@@ -1,0 +1,93 @@
+"""Unit tests for JSONL trace export and provenance manifests."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.persistence import config_from_dict
+from repro.obs import (
+    MANIFEST_KIND,
+    build_manifest,
+    category_counts,
+    read_manifest,
+    read_trace_jsonl,
+    record_from_dict,
+    record_to_dict,
+    write_manifest,
+    write_trace_jsonl,
+)
+from repro.sim.tracing import TraceRecord
+
+RECORDS = [
+    TraceRecord(1.0, "dns", {"domain": 3, "server": 1, "ttl": 240.0}),
+    TraceRecord(2.5, "alarm", {"server": 1, "alarmed": True}),
+    TraceRecord(2.5, "dns", None),
+]
+
+
+class TestJsonlRoundTrip:
+    def test_record_dict_round_trip(self):
+        for record in RECORDS:
+            assert record_from_dict(record_to_dict(record)) == record
+
+    def test_file_round_trip(self, tmp_path):
+        path = write_trace_jsonl(RECORDS, tmp_path / "t.jsonl")
+        assert read_trace_jsonl(path) == RECORDS
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = write_trace_jsonl(RECORDS, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(RECORDS)
+        for line in lines:
+            data = json.loads(line)
+            assert set(data) == {"time", "category", "payload"}
+
+    def test_invalid_json_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "category": "dns"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            read_trace_jsonl(path)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ConfigurationError):
+            record_from_dict({"category": "dns"})  # no time
+
+    def test_category_counts(self):
+        assert category_counts(RECORDS) == {"alarm": 1, "dns": 2}
+
+
+class TestManifest:
+    def test_build_manifest_fields(self):
+        config = SimulationConfig(policy="RR", seed=9, duration=600.0)
+        manifest = build_manifest(config, extra={"cell": 3})
+        assert manifest["kind"] == MANIFEST_KIND
+        assert manifest["policy"] == "RR"
+        assert manifest["seed"] == 9
+        assert manifest["package"]["name"] == "repro"
+        assert manifest["extra"] == {"cell": 3}
+        json.dumps(manifest)  # JSON-safe throughout
+
+    def test_config_round_trips_through_manifest(self, tmp_path):
+        config = SimulationConfig(
+            policy="DRR2-TTL/S_K",
+            seed=7,
+            duration=1200.0,
+            heterogeneity=50,
+            trace=True,
+            trace_categories=("dns", "alarm"),
+        )
+        path = write_manifest(config, tmp_path / "m.json")
+        manifest = read_manifest(path)
+        assert config_from_dict(manifest["config"]) == config
+
+    def test_read_manifest_rejects_other_kinds(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ConfigurationError):
+            read_manifest(path)
+
+    def test_non_dataclass_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_manifest({"policy": "RR"})

@@ -1,0 +1,157 @@
+"""Unit tests for the metrics instruments and registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+    UTILIZATION_BINS,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("x")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+        assert isinstance(gauge.value, float)
+
+
+class TestTimeWeightedHistogram:
+    def test_first_observation_covers_no_time(self):
+        hist = TimeWeightedHistogram("h")
+        hist.observe(10.0, 0.4)
+        assert hist.total_seconds == 0.0
+        assert hist.mean == 0.0
+        assert hist.maximum == 0.4
+        assert hist.observations == 1
+
+    def test_time_weighting(self):
+        hist = TimeWeightedHistogram("h")
+        # 0.2 for 10 s, then 0.8 for 30 s.
+        hist.observe(0.0, 0.0)
+        hist.observe(10.0, 0.2)
+        hist.observe(40.0, 0.8)
+        assert hist.total_seconds == pytest.approx(40.0)
+        assert hist.mean == pytest.approx((0.2 * 10 + 0.8 * 30) / 40)
+        assert hist.maximum == 0.8
+
+    def test_fraction_below_uses_bucket_seconds(self):
+        hist = TimeWeightedHistogram("h", bins=(0.5, 0.9))
+        hist.observe(0.0, 0.0)
+        hist.observe(10.0, 0.2)   # 10 s below 0.5
+        hist.observe(20.0, 0.7)   # 10 s in [0.5, 0.9)
+        hist.observe(30.0, 0.95)  # 10 s at/above 0.9
+        assert hist.fraction_below(0.5) == pytest.approx(1 / 3)
+        assert hist.fraction_below(0.9) == pytest.approx(2 / 3)
+
+    def test_fraction_below_requires_configured_edge(self):
+        hist = TimeWeightedHistogram("h", bins=(0.5,))
+        with pytest.raises(ConfigurationError):
+            hist.fraction_below(0.25)
+
+    def test_rejects_unsorted_bins(self):
+        with pytest.raises(ConfigurationError):
+            TimeWeightedHistogram("h", bins=(0.9, 0.5))
+        with pytest.raises(ConfigurationError):
+            TimeWeightedHistogram("h", bins=(0.5, 0.5))
+
+    def test_rejects_time_going_backwards(self):
+        hist = TimeWeightedHistogram("h")
+        hist.observe(10.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            hist.observe(5.0, 0.2)
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        hist = TimeWeightedHistogram("h")
+        hist.observe(0.0, 0.3)
+        hist.observe(5.0, 0.6)
+        snap = hist.snapshot()
+        json.dumps(snap)
+        assert snap["observations"] == 2
+        assert snap["bins"] == list(UTILIZATION_BINS)
+        assert sum(snap["bucket_seconds"]) == pytest.approx(
+            snap["total_seconds"]
+        )
+
+
+class TestMetricsRegistry:
+    def test_instruments_appear_in_snapshot(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("dns.resolutions")
+        gauge = registry.gauge("alarm.currently_alarmed")
+        counter.inc(7)
+        gauge.set(2)
+        snap = registry.snapshot()
+        assert snap["dns.resolutions"] == 7
+        assert snap["alarm.currently_alarmed"] == 2.0
+
+    def test_pull_callbacks_read_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"hits": 0}
+        registry.register("workload.hits", lambda: state["hits"])
+        state["hits"] = 41
+        assert registry.snapshot()["workload.hits"] == 41
+
+    def test_duplicate_names_rejected_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ConfigurationError):
+            registry.counter("a.b")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a.b")
+        with pytest.raises(ConfigurationError):
+            registry.register("a.b", lambda: 0)
+        registry.register("c.d", lambda: 0)
+        with pytest.raises(ConfigurationError):
+            registry.histogram("c.d")
+
+    def test_snapshot_is_sorted_and_histograms_nest(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last")
+        hist = registry.histogram("a.first")
+        hist.observe(0.0, 0.1)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert isinstance(snap["a.first"], dict)
+
+    def test_len_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        registry.register("c.d", lambda: 1)
+        assert len(registry) == 2
+        assert "a.b" in registry
+        assert "c.d" in registry
+        assert "e.f" not in registry
+        assert registry.names() == ["a.b", "c.d"]
+
+    def test_summary_rows_render_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.gauge("b.gauge").set(0.5)
+        registry.histogram("c.hist")  # no observations
+        rows = dict(registry.summary_rows())
+        assert rows["a.count"] == "3"
+        assert rows["b.gauge"] == "0.5000"
+        assert rows["c.hist"] == "no observations"

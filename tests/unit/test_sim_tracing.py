@@ -1,6 +1,11 @@
 """Unit tests for repro.sim.tracing."""
 
-from repro.sim.tracing import NullTracer, Tracer, TraceRecord
+from repro.sim.tracing import (
+    TRACE_CATEGORIES,
+    NullTracer,
+    Tracer,
+    TraceRecord,
+)
 
 
 class TestNullTracer:
@@ -54,3 +59,26 @@ class TestTracer:
         tracer.record(1.0, "x")
         tracer.record(2.0, "y")
         assert [r.time for r in tracer] == [1.0, 2.0]
+
+    def test_category_counts(self):
+        tracer = Tracer()
+        tracer.record(1.0, "dns")
+        tracer.record(2.0, "alarm")
+        tracer.record(3.0, "dns")
+        assert tracer.category_counts() == {"alarm": 1, "dns": 2}
+
+
+class TestCategoryCatalogue:
+    def test_catalogue_names_are_unique_and_stable(self):
+        assert len(set(TRACE_CATEGORIES)) == len(TRACE_CATEGORIES)
+        assert set(TRACE_CATEGORIES) == {
+            "session", "dns", "ns", "alarm", "util", "sched",
+        }
+
+    def test_records_are_picklable(self):
+        # Worker-parity depends on traced results crossing process
+        # boundaries intact.
+        import pickle
+
+        record = TraceRecord(1.5, "dns", {"server": 2})
+        assert pickle.loads(pickle.dumps(record)) == record
