@@ -47,6 +47,32 @@ def test_bench_event_queue_throughput(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_bench_sleep_fast_path(benchmark):
+    """The sole-waiter sleep loop — the engine's zero-allocation path.
+
+    One process sleeping repeatedly on Timeouts nothing else waits for:
+    each event should cost one heap push, one pop and one generator
+    send. ``benchmarks/record_bench_engine.py`` records this same shape
+    into ``BENCH_ENGINE.json``.
+    """
+
+    def run():
+        env = Environment()
+        done = [0]
+
+        def sleeper():
+            timeout = env.timeout
+            for _ in range(10_000):
+                yield timeout(1.0)
+            done[0] = 1
+
+        env.process(sleeper())
+        env.run()
+        return done[0]
+
+    assert benchmark(run) == 1
+
+
 def test_bench_process_switching(benchmark):
     def run():
         env = Environment()

@@ -1,0 +1,177 @@
+"""Record engine microbenchmark throughput into ``BENCH_ENGINE.json``.
+
+Times the engine's two hot microbenches (the sole-waiter sleep path and
+process switching) plus one reference ``fig1`` cell, computes events per
+second, and records them in ``BENCH_ENGINE.json`` at the repo root under
+a named entry (``--label baseline`` for the pre-fast-path engine,
+``--label current`` for the working tree). The committed file is the
+performance contract future PRs are measured against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench_engine.py --label current
+    PYTHONPATH=src python benchmarks/record_bench_engine.py --check
+
+``--check`` re-measures and fails (exit 1) if the sleep or switching
+throughput fell below ``--threshold`` (default 0.6) times the recorded
+``current`` entry — a coarse, machine-noise-tolerant regression guard
+for CI; the precise before/after story lives in the recorded numbers
+and ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.sim.engine import Environment
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_FILE = REPO_ROOT / "BENCH_ENGINE.json"
+
+#: Events per run of each microbench (kept moderate so --check stays fast).
+SLEEP_EVENTS = 200_000
+SWITCH_PROCESSES = 200
+SWITCH_SLEEPS = 500
+
+
+def bench_sleep() -> float:
+    """One process sleeping SLEEP_EVENTS times — the sole-waiter path."""
+    env = Environment()
+
+    def sleeper():
+        timeout = env.timeout
+        for _ in range(SLEEP_EVENTS):
+            yield timeout(1.0)
+
+    env.process(sleeper())
+    start = time.perf_counter()
+    env.run()
+    return SLEEP_EVENTS / (time.perf_counter() - start)
+
+
+def bench_switching() -> float:
+    """SWITCH_PROCESSES interleaved sleepers — process switching."""
+    env = Environment()
+
+    def sleeper():
+        timeout = env.timeout
+        for _ in range(SWITCH_SLEEPS):
+            yield timeout(1.0)
+
+    for _ in range(SWITCH_PROCESSES):
+        env.process(sleeper())
+    start = time.perf_counter()
+    env.run()
+    return (SWITCH_PROCESSES * SWITCH_SLEEPS) / (time.perf_counter() - start)
+
+
+def bench_fig1_cell() -> float:
+    """Wall-clock seconds for one reference fig1 cell (lower is better)."""
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.simulation import run_simulation
+
+    config = SimulationConfig(
+        policy="DRR2-TTL/S_K", heterogeneity=20, duration=1800.0, seed=1
+    )
+    start = time.perf_counter()
+    result = run_simulation(config)
+    elapsed = time.perf_counter() - start
+    assert result.total_hits > 0
+    return elapsed
+
+
+def best_of(fn, repetitions: int, pick):
+    values = [fn() for _ in range(repetitions)]
+    return pick(values)
+
+
+def measure(repetitions: int) -> dict:
+    bench_sleep()  # warm up allocators and code paths
+    return {
+        "sleep_events_per_sec": round(
+            best_of(bench_sleep, repetitions, max), 1
+        ),
+        "process_switch_events_per_sec": round(
+            best_of(bench_switching, repetitions, max), 1
+        ),
+        "fig1_cell_seconds": round(
+            best_of(bench_fig1_cell, repetitions, min), 4
+        ),
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%d"),
+    }
+
+
+def load_results() -> dict:
+    if RESULTS_FILE.exists():
+        return json.loads(RESULTS_FILE.read_text())
+    return {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default=None, help="entry name to record")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the recorded 'current' entry instead of recording",
+    )
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--threshold", type=float, default=0.6)
+    args = parser.parse_args(argv)
+
+    numbers = measure(args.repetitions)
+    print(json.dumps(numbers, indent=2))
+
+    results = load_results()
+    if args.check:
+        reference = results.get("current")
+        if reference is None:
+            print("no 'current' entry recorded; nothing to check against")
+            return 1
+        failed = False
+        for key in ("sleep_events_per_sec", "process_switch_events_per_sec"):
+            floor = reference[key] * args.threshold
+            if numbers[key] < floor:
+                print(
+                    f"REGRESSION: {key} = {numbers[key]:.0f} events/s "
+                    f"< {args.threshold:.2f} x recorded {reference[key]:.0f}"
+                )
+                failed = True
+        if not failed:
+            print(
+                f"engine throughput within {args.threshold:.2f}x "
+                "of the recorded baseline"
+            )
+        return 1 if failed else 0
+
+    if args.label is None:
+        parser.error("--label is required unless --check is given")
+    results[args.label] = numbers
+    if "baseline" in results and "current" in results:
+        base, cur = results["baseline"], results["current"]
+        results["speedup"] = {
+            "sleep": round(
+                cur["sleep_events_per_sec"] / base["sleep_events_per_sec"], 2
+            ),
+            "process_switch": round(
+                cur["process_switch_events_per_sec"]
+                / base["process_switch_events_per_sec"],
+                2,
+            ),
+            "fig1_cell": round(
+                base["fig1_cell_seconds"] / cur["fig1_cell_seconds"], 2
+            ),
+        }
+    RESULTS_FILE.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"recorded entry {args.label!r} in {RESULTS_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

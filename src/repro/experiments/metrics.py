@@ -48,14 +48,20 @@ class MaxUtilizationCollector:
         )
 
     def sink(self, now: float, utilizations: Sequence[float]) -> None:
-        """Monitor callback: one utilization vector per interval."""
+        """Monitor callback: one utilization vector per interval.
+
+        Runs once per measurement window for the whole simulation; the
+        attribute chains are bound to locals once per call rather than
+        re-resolved inside the per-server loop.
+        """
         if now <= self.warmup:
             return
         self.max_samples.append(max(utilizations))
+        series = self.series
         for stats, utilization in zip(self.per_server, utilizations):
             stats.add(utilization)
-        if self.series is not None:
-            self.series.append((now, list(utilizations)))
+        if series is not None:
+            series.append((now, list(utilizations)))
 
     def cdf(self) -> EmpiricalCdf:
         return EmpiricalCdf(self.max_samples)

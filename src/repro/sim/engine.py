@@ -10,18 +10,41 @@ Determinism
 -----------
 Events scheduled for the same simulation time are processed in
 (priority, insertion order), so two runs of the same seeded model produce
-identical trajectories — a property the test suite verifies and the
-experiment harness relies on.
+identical trajectories — a property the test suite verifies, the
+experiment harness relies on, and the golden-trajectory regression test
+(``tests/integration/test_golden_trajectory.py``) pins bit-for-bit
+across engine rewrites.
+
+Performance
+-----------
+:meth:`Environment.run` is an inlined pop-and-dispatch loop over local
+bindings of the heap and clock, with the dominant event shape — a
+process sleeping on a :class:`~repro.sim.events.Timeout` nothing else
+waits on — resumed inline without allocating a callbacks list or paying
+a :meth:`~repro.sim.process.Process._resume` call. :meth:`step` remains
+the single-stepping entry point for tests and interactive use and
+performs the exact same dispatch in the exact same order. See
+``docs/PERFORMANCE.md``, *Engine internals*.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
-from .events import PRIORITY_NORMAL, AllOf, AnyOf, Event, Timeout
+from .events import (
+    _PRIORITY_SHIFT,
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+    timeout_factory,
+)
 from .process import Process
+
+_INFINITY = float("inf")
 
 
 class EmptySchedule(SimulationError):
@@ -35,13 +58,33 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock (default ``0.0``).
+
+    Attributes
+    ----------
+    timeout:
+        Factory for :class:`~repro.sim.events.Timeout` events —
+        ``env.timeout(delay, value=None)``. Bound per instance to the
+        closure built by :func:`~repro.sim.events.timeout_factory`,
+        which constructs the identical event without the
+        ``type.__call__`` dispatch — the hottest allocation site in any
+        run.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "timeout")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        if not -_INFINITY < self._now < _INFINITY:
+            raise SimulationError(
+                f"initial_time must be finite, got {initial_time!r}"
+            )
+        #: Heap of ``(time, priority << shift | eid, event)`` entries.
+        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # One sleep per client think time makes `timeout` the
+        # most-called factory in a run; see timeout_factory.
+        self.timeout = timeout_factory(self)
 
     # -- clock and queue -------------------------------------------------
 
@@ -58,13 +101,26 @@ class Environment:
     def schedule(
         self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
     ) -> None:
-        """Enqueue ``event`` to be processed after ``delay`` time units."""
+        """Enqueue ``event`` to be processed after ``delay`` time units.
+
+        ``delay`` must produce a finite time: a NaN-timed entry would
+        poison the heap's ordering (every comparison against NaN is
+        false), silently corrupting dispatch order for *all* events.
+        """
+        time = self._now + delay
+        if not -_INFINITY < time < _INFINITY:
+            raise SimulationError(
+                f"cannot schedule {event!r} at non-finite time {time!r} "
+                f"(delay {delay!r})"
+            )
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heapq.heappush(
+            self._queue, (time, (priority << _PRIORITY_SHIFT) | self._eid, event)
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INFINITY
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -75,13 +131,21 @@ class Environment:
             If no events remain.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events left") from None
-        callbacks, event.callbacks = event.callbacks, None
         event._processed = True
-        for callback in callbacks:
-            callback(event)
+        # The waiter (if any) registered before any callback could be
+        # appended, so resuming it first preserves registration order.
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
+        callbacks = event._callbacks
+        if callbacks is not None:
+            event._callbacks = None
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run the simulation.
@@ -89,34 +153,73 @@ class Environment:
         Parameters
         ----------
         until:
-            Stop once the clock would pass this time (the clock is then set
-            exactly to ``until``). ``None`` runs until the event queue
-            drains.
+            Stop once the clock would pass this time (the clock is then
+            set exactly to ``until``). ``None`` runs until the event
+            queue drains.
+
+        This is the engine's hot loop: it performs the same dispatch as
+        :meth:`step` in the same order, but inline over local bindings,
+        and resumes a sole-waiting process directly — for the dominant
+        sleep-on-a-Timeout shape that means one generator ``send`` with
+        no intermediate Python frame and no allocation beyond the
+        Timeout and its heap entry. :meth:`Process._resume` remains the
+        reference implementation; every branch here mirrors it exactly.
         """
         if until is None:
-            try:
-                while True:
-                    self.step()
-            except EmptySchedule:
-                return
-        target = float(until)
-        if target < self._now:
-            raise SimulationError(
-                f"cannot run until {target!r}: already at {self._now!r}"
-            )
-        while self._queue and self._queue[0][0] <= target:
-            self.step()
-        self._now = target
+            target = _INFINITY
+        else:
+            target = float(until)
+            if target < self._now:
+                raise SimulationError(
+                    f"cannot run until {target!r}: already at {self._now!r}"
+                )
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and queue[0][0] <= target:
+            now, _, event = pop(queue)
+            self._now = now
+            event._processed = True
+            waiter = event._waiter
+            if waiter is not None:
+                event._waiter = None
+                if waiter._target is event and event._ok:
+                    # Inlined sole-waiter resume (the sleep fast path).
+                    waiter._target = None
+                    self._active_process = waiter
+                    try:
+                        next_event = waiter._generator.send(event._value)
+                    except BaseException as error:  # incl. StopIteration
+                        waiter._terminate(error)
+                    else:
+                        if (
+                            type(next_event) is Timeout
+                            and next_event._waiter is None
+                            and next_event._callbacks is None
+                            and not next_event._processed
+                        ):
+                            # Fresh sole-waiter sleep: park directly.
+                            next_event._waiter = waiter
+                            waiter._target = next_event
+                            self._active_process = None
+                        else:
+                            waiter._after_yield(next_event)
+                else:
+                    # Stale target (interrupt) or failed event: the full
+                    # resume handles detaching and the throw path.
+                    waiter._resume(event)
+            callbacks = event._callbacks
+            if callbacks is not None:
+                event._callbacks = None
+                for callback in callbacks:
+                    callback(event)
+        if until is not None:
+            self._now = target
 
     # -- factories --------------------------------------------------------
 
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
         return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` that triggers after ``delay``."""
-        return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
         """Spawn ``generator`` as a simulation :class:`Process`."""

@@ -15,10 +15,27 @@ Events move through three states:
     processed when the simulation clock reaches its time.
 ``processed``
     Its callbacks have run.
+
+Hot-path layout
+---------------
+The dominant event shape in every paper-length run is a process sleeping
+on a :class:`Timeout` nothing else waits on. Two layout decisions keep
+that shape allocation-free (see ``docs/PERFORMANCE.md``, *Engine
+internals*):
+
+* ``callbacks`` lists are **lazy** — ``_callbacks`` stays ``None`` until
+  somebody actually appends a callback (the public :attr:`Event.callbacks`
+  property allocates on first access).
+* the first waiting :class:`~repro.sim.process.Process` is stored in the
+  dedicated ``_waiter`` slot instead of a callbacks list; the dispatch
+  loop resumes it directly. Because ``_waiter`` is only ever claimed
+  while no callback list exists, dispatching the waiter *before* the
+  callbacks list preserves exact registration order.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
@@ -30,6 +47,15 @@ PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
 
 _PENDING = object()
+_INFINITY = float("inf")
+
+#: Heap entries are ``(time, priority << _PRIORITY_SHIFT | eid, event)``:
+#: fusing (priority, eid) into one integer keeps the tuple one element
+#: shorter and resolves same-time ties with a single comparison, while
+#: ordering exactly as the separate (priority, eid) pair would (eids are
+#: sequential and never approach 2**48).
+_PRIORITY_SHIFT = 48
+_NORMAL_KEY = PRIORITY_NORMAL << _PRIORITY_SHIFT
 
 
 class Event:
@@ -41,18 +67,34 @@ class Event:
         The :class:`~repro.sim.engine.Environment` the event belongs to.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+    __slots__ = ("env", "_callbacks", "_waiter", "_value", "_ok", "_processed")
 
     def __init__(self, env):
         self.env = env
-        #: Callables invoked with this event once it is processed. ``None``
-        #: after processing (appending then raises, catching late adds).
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        #: Lazily allocated callback list (``None`` until first use).
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
+        #: Sole-waiter fast path: the process parked on this event, when
+        #: it registered before any callback list existed.
+        self._waiter = None
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._processed = False
 
     # -- state ---------------------------------------------------------
+
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """Callables invoked with this event once it is processed.
+
+        Allocated on first access; ``None`` after processing (appending
+        then raises, catching late adds).
+        """
+        if self._processed:
+            return None
+        cbs = self._callbacks
+        if cbs is None:
+            cbs = self._callbacks = []
+        return cbs
 
     @property
     def triggered(self) -> bool:
@@ -135,16 +177,61 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env, delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # One comparison rejects negative, NaN (fails both bounds) and
+        # infinite delays — a NaN-timed entry would poison heap ordering.
+        if not 0.0 <= delay < _INFINITY:
+            raise SimulationError(
+                f"timeout delay must be finite and >= 0, got {delay!r}"
+            )
+        self.env = env
+        self._callbacks = None
+        self._waiter = None
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self._processed = False
+        self.delay = delay
+        # Inlined Environment.schedule — one sleep per client think time
+        # makes this the single most executed constructor in a run.
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, _NORMAL_KEY | eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"
+
+
+def timeout_factory(env) -> Callable[..., Timeout]:
+    """Build the ``env.timeout`` fast factory for ``env``.
+
+    The returned closure constructs a :class:`Timeout` exactly as
+    ``Timeout(env, delay, value)`` would — same validation, same field
+    values, same eid sequence, same heap entry — but via
+    ``Timeout.__new__`` plus direct slot stores, skipping the
+    ``type.__call__``/``__init__`` dispatch that costs a measurable
+    slice of the busiest allocation site in any run. Lives here, next to
+    :class:`Timeout`, so the two construction paths cannot drift apart
+    unnoticed.
+    """
+    queue = env._queue
+    new = Timeout.__new__
+
+    def timeout(delay: float, value: Any = None) -> Timeout:
+        if not 0.0 <= delay < _INFINITY:
+            raise SimulationError(
+                f"timeout delay must be finite and >= 0, got {delay!r}"
+            )
+        event = new(Timeout)
+        event.env = env
+        event._callbacks = None
+        event._waiter = None
+        event._ok = True
+        event._value = value
+        event._processed = False
+        event.delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(queue, (env._now + delay, _NORMAL_KEY | eid, event))
+        return event
+
+    return timeout
 
 
 class ConditionEvent(Event):
@@ -163,10 +250,13 @@ class ConditionEvent(Event):
             self.succeed({})
             return
         for event in self.events:
-            if event.processed or (event.triggered and event.callbacks is None):
+            if event._processed:
                 self._check(event)
             else:
-                event.callbacks.append(self._check)
+                cbs = event._callbacks
+                if cbs is None:
+                    cbs = event._callbacks = []
+                cbs.append(self._check)
 
     def _collect(self) -> dict:
         """Values of all triggered sub-events, keyed by event."""

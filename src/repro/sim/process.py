@@ -6,6 +6,12 @@ the yielded event is processed and is then resumed with the event's value
 (or, for failed events, with the failure exception raised at the
 ``yield``). A process is itself an :class:`~repro.sim.events.Event` that
 triggers when its generator returns, so processes can wait for each other.
+
+The resume path is the engine's inner loop: for the dominant
+sleep-on-a-:class:`~repro.sim.events.Timeout` pattern a process parks
+itself in the event's ``_waiter`` slot (no callbacks-list allocation)
+and the dispatch loop in :meth:`~repro.sim.engine.Environment.run`
+resumes it directly.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ class _Initialize(Event):
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self._waiter = process
         env.schedule(self, priority=PRIORITY_URGENT)
 
 
@@ -75,24 +81,37 @@ class Process(Event):
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
+        event._waiter = self
         # Jump the queue so the interrupt lands before same-time events.
-        event.callbacks.append(self._resume)
         self.env.schedule(event, priority=PRIORITY_URGENT)
 
     # -- internal ---------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the triggered ``event``."""
+        if self._value is not _PENDING:
+            # Already terminated. Only an interrupt can still reach a dead
+            # process: it was scheduled while the victim was alive, but the
+            # victim handled an earlier interrupt and finished before this
+            # one fired. Dropping it matches SimPy — an interrupt for a
+            # completed process is moot.
+            return
         env = self.env
         env._active_process = self
         # Detach from the old target: if we were interrupted while waiting,
-        # the stale target must no longer resume us when it fires.
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+        # the stale target must no longer resume us when it fires — whether
+        # we were parked in its waiter slot or on its callbacks list.
+        target = self._target
+        if target is not None and target is not event:
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                callbacks = target._callbacks
+                if callbacks is not None:
+                    try:
+                        callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
         self._target = None
         while True:
             try:
@@ -120,14 +139,85 @@ class Process(Event):
                 self._generator.close()
                 self.fail(error)
                 return
-            if next_event.callbacks is not None:
-                # Still pending or queued: wait for it.
-                next_event.callbacks.append(self._resume)
+            if not next_event._processed:
+                # Still pending or queued: wait for it. Claim the waiter
+                # slot when no registration exists yet (the common case:
+                # a Timeout nothing else waits on) — zero allocations.
+                if next_event._waiter is None and next_event._callbacks is None:
+                    next_event._waiter = self
+                else:
+                    callbacks = next_event._callbacks
+                    if callbacks is None:
+                        callbacks = next_event._callbacks = []
+                    callbacks.append(self._resume)
                 self._target = next_event
                 env._active_process = None
                 return
             # Already processed: feed its value straight back in.
             event = next_event
+
+    def _after_yield(self, next_event) -> None:
+        """Slow tail of the resume inlined in :meth:`Environment.run`.
+
+        The inlined fast path has already sent into the generator and
+        received ``next_event``, but it was not a fresh sole-waiter
+        Timeout. Register on it — or, if it is already processed, keep
+        pumping the generator exactly as :meth:`_resume` would.
+        ``env._active_process`` is still this process on entry.
+        """
+        env = self.env
+        while True:
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                error = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._generator.close()
+                self.fail(error)
+                return
+            if not next_event._processed:
+                if next_event._waiter is None and next_event._callbacks is None:
+                    next_event._waiter = self
+                else:
+                    callbacks = next_event._callbacks
+                    if callbacks is None:
+                        callbacks = next_event._callbacks = []
+                    callbacks.append(self._resume)
+                self._target = next_event
+                env._active_process = None
+                return
+            event = next_event
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(getattr(stop, "value", None))
+                return
+            except StopProcess as stop:
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                env._active_process = None
+                self.fail(error)
+                return
+
+    def _terminate(self, error: BaseException) -> None:
+        """Classify an exception out of ``generator.send`` and finish.
+
+        Counterpart of :meth:`_resume`'s except clauses for the resume
+        inlined in :meth:`Environment.run`.
+        """
+        self.env._active_process = None
+        if isinstance(error, StopIteration):
+            self.succeed(getattr(error, "value", None))
+        elif isinstance(error, StopProcess):
+            self.succeed(error.value)
+        else:
+            self.fail(error)
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", str(self._generator))

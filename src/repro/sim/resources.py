@@ -54,6 +54,8 @@ class Request(Event):
 class Resource:
     """A resource with ``capacity`` identical slots and a FIFO queue."""
 
+    __slots__ = ("env", "capacity", "_in_use", "_queue")
+
     def __init__(self, env, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
@@ -124,6 +126,8 @@ class StoreGet(Event):
 class Store:
     """A FIFO object buffer with optional bounded capacity."""
 
+    __slots__ = ("env", "capacity", "items", "_putters", "_getters")
+
     def __init__(self, env, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
@@ -142,17 +146,21 @@ class Store:
         return StoreGet(self)
 
     def _dispatch(self) -> None:
+        items = self.items
+        putters = self._putters
+        getters = self._getters
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
-            if self._putters and len(self.items) < self.capacity:
-                put = self._putters.popleft()
-                self.items.append(put.item)
+            if putters and len(items) < capacity:
+                put = putters.popleft()
+                items.append(put.item)
                 put.succeed()
                 progressed = True
-            if self._getters and self.items:
-                get = self._getters.popleft()
-                get.succeed(self.items.popleft())
+            if getters and items:
+                get = getters.popleft()
+                get.succeed(items.popleft())
                 progressed = True
 
     def __repr__(self) -> str:

@@ -147,16 +147,29 @@ class UtilizationMonitor:
         self.process = env.process(self._run())
 
     def _run(self):
+        # One wakeup per window for the whole run: bind the
+        # loop-invariant lookups (timeout factory, interval, receivers)
+        # to locals once instead of re-resolving them every interval.
+        env = self.env
+        timeout = env.timeout
+        interval = self.interval
+        servers = self.servers
+        tracer = self.tracer
+        tracing = tracer.enabled
+        alarm_protocol = self.alarm_protocol
+        observe = alarm_protocol.observe if alarm_protocol is not None else None
+        sample_sink = self.sample_sink
+        max_histogram = self._max_histogram
         while True:
-            yield self.env.timeout(self.interval)
-            now = self.env.now
-            utilizations = [server.end_window(now) for server in self.servers]
+            yield timeout(interval)
+            now = env.now
+            utilizations = [server.end_window(now) for server in servers]
             self.samples_taken += 1
             peak = max(utilizations)
-            if self._max_histogram is not None:
-                self._max_histogram.observe(now, peak)
-            if self.tracer.enabled:
-                self.tracer.record(
+            if max_histogram is not None:
+                max_histogram.observe(now, peak)
+            if tracing:
+                tracer.record(
                     now,
                     "util",
                     {
@@ -165,8 +178,8 @@ class UtilizationMonitor:
                         "argmax": utilizations.index(peak),
                     },
                 )
-            if self.alarm_protocol is not None:
+            if observe is not None:
                 for server_id, utilization in enumerate(utilizations):
-                    self.alarm_protocol.observe(now, server_id, utilization)
-            if self.sample_sink is not None:
-                self.sample_sink(now, utilizations)
+                    observe(now, server_id, utilization)
+            if sample_sink is not None:
+                sample_sink(now, utilizations)

@@ -69,11 +69,16 @@ class QueueingWebServer:
         return self.busy_time / now
 
     def _worker(self):
+        # Two yields per page: hoist the per-iteration attribute chains
+        # (timeout factory, queue get, capacity) to locals.
         env = self.env
+        timeout = env.timeout
+        get = self._jobs.get
+        capacity = self.capacity
         while True:
-            arrived_at, hits = yield self._jobs.get()
-            service = hits / self.capacity
-            yield env.timeout(service)
+            arrived_at, hits = yield get()
+            service = hits / capacity
+            yield timeout(service)
             self.busy_time += service
             self.completed_pages += 1
             self.total_sojourn += env.now - arrived_at

@@ -67,6 +67,33 @@ class ClientPopulation:
         registers pull callbacks for its session/page/hit totals.
     """
 
+    # The per-page counters below are incremented once per page for the
+    # whole run; slot storage makes those the cheap kind of attribute.
+    __slots__ = (
+        "env",
+        "cluster",
+        "resolution_chain",
+        "domains",
+        "session_model",
+        "total_clients",
+        "tracer",
+        "dynamics",
+        "client_address_caching",
+        "client_cache_hits",
+        "layout",
+        "network_rtt_stats",
+        "_think_rng",
+        "_pages_rng",
+        "_hits_rng",
+        "_stagger_rng",
+        "dns_routed_hits",
+        "total_hits",
+        "total_pages",
+        "total_sessions",
+        "client_domains",
+        "processes",
+    )
+
     def __init__(
         self,
         env,
@@ -134,56 +161,70 @@ class ClientPopulation:
         return self.dns_routed_hits / self.total_hits if self.total_hits else 0.0
 
     def _client(self, client_id: int, home_domain: int):
+        # This generator executes once per page across the whole run —
+        # every attribute lookup in its loops is paid hundreds of
+        # thousands of times, so bind everything loop-invariant to
+        # locals up front (methods included: `timeout`, the distribution
+        # `sample`s and `record` save a LOAD_ATTR per call). The running
+        # totals stay on `self` — they must be externally visible at any
+        # simulation cutoff, including mid-session.
         env = self.env
+        timeout = env.timeout
         session_model = self.session_model
-        resolve = self.resolution_chain.resolve
+        chain = self.resolution_chain
+        resolve = chain.resolve
         servers = self.cluster.servers
         think_rng = self._think_rng
         pages_rng = self._pages_rng
         hits_rng = self._hits_rng
         think = session_model.think_time
-        pages_dist = session_model.pages_per_session
-        hits_dist = session_model.hits_per_page
+        think_sample = think.sampler(think_rng)
+        pages_sample = session_model.pages_per_session.sampler(pages_rng)
+        hits_sample = session_model.hits_per_page.sampler(hits_rng)
         dynamics = self.dynamics
         static = dynamics.is_static
         caching = self.client_address_caching
         layout = self.layout
-        rtt_stats = self.network_rtt_stats
+        rtt_stats_add = self.network_rtt_stats.add
+        tracer = self.tracer
+        tracing = tracer.enabled
+        trace_record = tracer.record
         cached_record = None
         cached_domain = -1
         # Stagger session starts across one mean think time so the whole
         # population does not resolve at t=0 in lockstep.
-        yield env.timeout(self._stagger_rng.uniform(0.0, think.mean))
+        yield timeout(self._stagger_rng.uniform(0.0, think.mean))
+        # `now` mirrors env.now: the clock cannot move between a resume
+        # and the next yield, so one read per wakeup suffices.
+        now = env.now
         while True:
             domain_id = (
                 home_domain
                 if static
-                else dynamics.current_domain(home_domain, env.now)
+                else dynamics.current_domain(home_domain, now)
             )
             if (
                 caching
                 and cached_record is not None
                 and cached_domain == domain_id
-                and cached_record.is_valid(env.now)
+                and cached_record.is_valid(now)
             ):
                 record = cached_record
                 resolved_by_dns = False
                 self.client_cache_hits += 1
             else:
-                before = self.resolution_chain.authoritative_answers
-                record = resolve(domain_id, env.now, client_id)
-                resolved_by_dns = (
-                    self.resolution_chain.authoritative_answers > before
-                )
+                before = chain.authoritative_answers
+                record = resolve(domain_id, now, client_id)
+                resolved_by_dns = chain.authoritative_answers > before
                 if caching:
                     cached_record = record
                     cached_domain = domain_id
-            server = servers[record.server_id]
-            pages = int(pages_dist.sample(pages_rng))
+            offer = servers[record.server_id].offer
+            pages = int(pages_sample())
             self.total_sessions += 1
-            if self.tracer.enabled:
-                self.tracer.record(
-                    env.now,
+            if tracing:
+                trace_record(
+                    now,
                     "session",
                     {
                         "client": client_id,
@@ -196,15 +237,16 @@ class ClientPopulation:
             if layout is not None:
                 page_rtt = layout.rtt(domain_id, record.server_id)
             for _ in range(pages):
-                hits = int(hits_dist.sample(hits_rng))
-                server.offer(env.now, hits, domain_id)
+                hits = int(hits_sample())
+                offer(now, hits, domain_id)
                 self.total_pages += 1
                 self.total_hits += hits
                 if resolved_by_dns:
                     self.dns_routed_hits += hits
                 if layout is not None:
-                    rtt_stats.add(page_rtt)
-                yield env.timeout(think.sample(think_rng))
+                    rtt_stats_add(page_rtt)
+                yield timeout(think_sample())
+                now = env.now
 
     def __repr__(self) -> str:
         return (

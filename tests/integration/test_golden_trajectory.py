@@ -1,0 +1,111 @@
+"""Golden-trajectory regression for the DES engine.
+
+The engine's fast paths (direct process resumes, the inlined ``run``
+loop, lazy callbacks lists) are pure optimizations: they must not change
+a single bit of any trajectory. This test pins that property to a
+committed fixture — a full fingerprint (trace, metrics snapshot,
+max-utilization samples, utilization series and headline scalars) of one
+small-but-complete simulation, recorded on the pre-fast-path engine.
+
+Any engine change that alters event ordering, RNG draw order, or float
+arithmetic anywhere in the pipeline shows up here as a diff against the
+fixture.
+
+Regenerate (only when a trajectory change is *intended* and understood)::
+
+    PYTHONPATH=src python tests/integration/test_golden_trajectory.py --regenerate
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.simulation import run_simulation
+
+FIXTURE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "fixtures"
+    / "golden_trajectory.json"
+)
+
+#: The golden run: small enough to finish in about a second, yet it
+#: exercises every moving part — adaptive scheduling with alarms, the
+#: measured estimator's collection process, DNS + NS caches, tracing and
+#: the metrics registry.
+GOLDEN_CONFIG = {
+    "policy": "DRR2-TTL/S_K",
+    "duration": 600.0,
+    "seed": 97,
+    "heterogeneity": 50,
+    "domain_count": 10,
+    "total_clients": 120,
+    "estimator": "measured",
+    "trace": True,
+    "keep_utilization_series": True,
+}
+
+
+def compute_fingerprint() -> dict:
+    """Run the golden config and reduce the result to JSON-safe data.
+
+    The dict round-trips through JSON without loss: every float is
+    serialized via ``repr`` (exact for finite doubles), so equality of
+    the round-tripped structures is bit-equality of the trajectories.
+    """
+    result = run_simulation(SimulationConfig(**GOLDEN_CONFIG))
+    fingerprint = {
+        "config": GOLDEN_CONFIG,
+        "max_utilization_samples": result.max_utilization_samples,
+        "mean_utilization_per_server": result.mean_utilization_per_server,
+        "utilization_series": result.utilization_series,
+        "trace": [
+            [record.time, record.category, record.payload]
+            for record in result.trace
+        ],
+        "metrics": result.metrics,
+        "scalars": {
+            "dns_resolutions": result.dns_resolutions,
+            "address_request_rate": result.address_request_rate,
+            "dns_resolution_fraction": result.dns_resolution_fraction,
+            "dns_control_fraction": result.dns_control_fraction,
+            "mean_granted_ttl": result.mean_granted_ttl,
+            "alarm_signals": result.alarm_signals,
+            "ns_ttl_overrides": result.ns_ttl_overrides,
+            "mean_page_response_time": result.mean_page_response_time,
+            "max_page_response_time": result.max_page_response_time,
+            "total_hits": result.total_hits,
+            "total_sessions": result.total_sessions,
+        },
+    }
+    # Normalize through JSON so tuples-vs-lists and int-vs-float key
+    # differences cannot mask (or fake) a trajectory change.
+    return json.loads(json.dumps(fingerprint))
+
+
+def test_golden_trajectory_bit_identical():
+    """The committed fixture must be reproduced bit-for-bit."""
+    if not FIXTURE.exists():
+        pytest.fail(
+            f"golden fixture missing: {FIXTURE} — regenerate with "
+            "`PYTHONPATH=src python tests/integration/test_golden_trajectory.py"
+            " --regenerate`"
+        )
+    golden = json.loads(FIXTURE.read_text())
+    fresh = compute_fingerprint()
+    assert fresh["config"] == golden["config"], "fixture config drifted"
+    # Compare section by section for a readable failure, then in full.
+    for key in golden:
+        assert fresh[key] == golden[key], f"trajectory diverged in {key!r}"
+    assert fresh == golden
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("pass --regenerate to overwrite the golden fixture")
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(compute_fingerprint(), indent=1) + "\n")
+    print(f"wrote {FIXTURE}")

@@ -3,7 +3,9 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import Environment
+from repro.errors import SimulationError
+from repro.sim.engine import EmptySchedule, Environment
+from repro.sim.process import Interrupt
 
 delays = st.lists(
     st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
@@ -83,3 +85,86 @@ class TestProcessScheduling:
             env.process(proc(index))
         env.run()
         assert sorted(done) == list(range(count))
+
+
+#: One worker action: sleep for a delay, wait on a shared gate event, or
+#: interrupt another worker (then sleep). Together these exercise every
+#: dispatch shape the engine has — the sole-waiter sleep fast path,
+#: shared events with waiter + callbacks-list registration, and the
+#: interrupt detach path.
+_ACTION = st.tuples(
+    st.sampled_from(["sleep", "wait", "interrupt"]),
+    st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+    st.integers(min_value=0, max_value=3),
+)
+
+_PROGRAM = st.lists(
+    st.lists(_ACTION, min_size=0, max_size=6), min_size=1, max_size=4
+)
+
+
+class TestStepRunEquivalence:
+    """run() is an inlined fast path over the same dispatch as step().
+
+    The contract pinned here: for ANY program of sleeps, shared-event
+    waits and interrupts, driving the simulation with ``run()`` and
+    driving an identical twin with ``step()`` until :class:`EmptySchedule`
+    produces bit-identical trajectories (same wakeups, same clock values,
+    same interrupt deliveries, in the same order).
+    """
+
+    @staticmethod
+    def _execute(program, mode):
+        env = Environment()
+        log = []
+        gates = [env.event() for _ in range(4)]
+        processes = []
+
+        def worker(worker_id, actions):
+            for index, (kind, delay, target) in enumerate(actions):
+                try:
+                    if kind == "sleep":
+                        yield env.timeout(delay)
+                        log.append((worker_id, index, env.now, "slept"))
+                    elif kind == "wait":
+                        value = yield gates[target]
+                        log.append((worker_id, index, env.now, "gate", value))
+                    else:
+                        victim = processes[target % len(processes)]
+                        if victim.is_alive and victim is not env.active_process:
+                            try:
+                                victim.interrupt((worker_id, index))
+                            except SimulationError:
+                                pass
+                        yield env.timeout(delay)
+                        log.append((worker_id, index, env.now, "slept-after"))
+                except Interrupt as interrupt:
+                    log.append(
+                        (worker_id, index, env.now, "intr", interrupt.cause)
+                    )
+            log.append((worker_id, "done", env.now))
+
+        def gatekeeper():
+            for gate in gates:
+                yield env.timeout(3.0)
+                gate.succeed(env.now)
+
+        for worker_id, actions in enumerate(program):
+            processes.append(env.process(worker(worker_id, actions)))
+        env.process(gatekeeper())
+
+        if mode == "run":
+            env.run()
+        else:
+            while True:
+                try:
+                    env.step()
+                except EmptySchedule:
+                    break
+        log.append(("final-clock", env.now))
+        return log
+
+    @given(_PROGRAM)
+    @settings(max_examples=60, deadline=None)
+    def test_step_and_run_trajectories_identical(self, program):
+        assert self._execute(program, "run") == self._execute(program, "step")

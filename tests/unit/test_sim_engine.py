@@ -90,6 +90,84 @@ class TestOrdering:
         assert times == [1.0, 2.0, 3.0]
 
 
+class TestSleepFastPath:
+    """Structural guards for the inlined sole-waiter resume in run().
+
+    These assert the fast path is actually *taken* — hardware-independent
+    regressions, unlike the throughput smoke check in CI. If an engine
+    change silently forces every resume through the generic
+    ``Process._resume`` slow path, simulations stay correct but lose the
+    performance the fast path exists for; these tests catch that.
+    """
+
+    def test_pure_sleep_loop_never_calls_generic_resume(self, env, monkeypatch):
+        from repro.sim.process import Process
+
+        calls = []
+        original = Process._resume
+
+        def counting_resume(self, event):
+            calls.append(event)
+            original(self, event)
+
+        monkeypatch.setattr(Process, "_resume", counting_resume)
+        finished = []
+
+        def sleeper():
+            timeout = env.timeout
+            for _ in range(50):
+                yield timeout(1.0)
+            finished.append(env.now)
+
+        env.process(sleeper())
+        env.run()
+        assert finished == [50.0]
+        assert calls == []
+
+    def test_sole_sleeper_allocates_no_callbacks_list(self, env):
+        seen = []
+
+        def sleeper():
+            timeout = env.timeout(3.0)
+            seen.append(timeout)
+            yield timeout
+
+        env.process(sleeper())
+        env.run(until=1.0)
+        # Parked mid-sleep: the process sits in the waiter slot and no
+        # callbacks list was ever allocated for the Timeout.
+        (timeout,) = seen
+        assert timeout._callbacks is None
+        assert timeout._waiter is not None
+        env.run()
+        assert timeout._waiter is None
+
+    def test_step_matches_run_for_sleepers(self, env):
+        def program(environment, log):
+            def sleeper(tag):
+                timeout = environment.timeout
+                for index in range(3):
+                    yield timeout(1.5)
+                    log.append((tag, index, environment.now))
+
+            for tag in ("a", "b"):
+                environment.process(sleeper(tag))
+
+        log_run = []
+        program(env, log_run)
+        env.run()
+
+        other = Environment()
+        log_step = []
+        program(other, log_step)
+        while True:
+            try:
+                other.step()
+            except EmptySchedule:
+                break
+        assert log_run == log_step
+
+
 class TestRepr:
     def test_repr_contains_clock_and_queue(self, env):
         env.timeout(1.0)

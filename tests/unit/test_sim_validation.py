@@ -1,0 +1,105 @@
+"""Regression tests: non-finite times must never reach the event heap.
+
+A single NaN-timed heap entry silently poisons dispatch for the whole
+simulation — every comparison against NaN is false, so heap invariants
+break and events fire in arbitrary order *without any error*. These
+tests pin the fix: :class:`~repro.sim.events.Timeout` and
+:meth:`~repro.sim.engine.Environment.schedule` validate up front and
+raise :class:`~repro.errors.SimulationError`.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestTimeoutDelayValidation:
+    @pytest.mark.parametrize("delay", [NAN, INF, -INF, -1.0, -1e-12])
+    def test_invalid_delay_rejected(self, env, delay):
+        with pytest.raises(SimulationError):
+            env.timeout(delay)
+
+    def test_zero_delay_allowed(self, env):
+        fired = []
+        env.timeout(0.0).callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [0.0]
+
+    def test_rejected_timeout_leaves_queue_clean(self, env):
+        """The guard must fire before the heap push, not after."""
+        with pytest.raises(SimulationError):
+            env.timeout(NAN)
+        assert env.peek() == INF
+        env.timeout(1.0)
+        env.run()
+        assert env.now == 1.0
+
+    def test_nan_delay_rejected_inside_process(self, env):
+        """The process-facing path (yield env.timeout(...)) is covered too."""
+
+        def broken():
+            yield env.timeout(NAN)
+
+        process = env.process(broken())
+        env.run()
+        assert not process.ok
+        assert isinstance(process.value, SimulationError)
+
+
+class TestScheduleDelayValidation:
+    @pytest.mark.parametrize("delay", [NAN, INF, -INF])
+    def test_non_finite_delay_rejected(self, env, delay):
+        with pytest.raises(SimulationError):
+            env.schedule(env.event(), delay=delay)
+
+    def test_negative_but_finite_delay_allowed_for_schedule(self, env):
+        """schedule() is the low-level hook; it only requires finiteness.
+
+        (Negative delays are nonsensical for timeouts but schedule() is
+        also used to re-order bookkeeping events; the invariant it must
+        protect is heap-orderability, i.e. finiteness.)
+        """
+        event = env.event()
+        env.schedule(event, delay=-0.0)
+        env.run()
+        assert event.processed
+
+    def test_overflow_to_infinity_rejected(self, env):
+        """A finite delay that overflows now+delay to inf is caught."""
+        env.run(until=1e308)
+        with pytest.raises(SimulationError):
+            env.schedule(env.event(), delay=1.7e308)
+
+
+class TestInitialTimeValidation:
+    @pytest.mark.parametrize("initial", [NAN, INF, -INF])
+    def test_non_finite_initial_time_rejected(self, initial):
+        with pytest.raises(SimulationError):
+            Environment(initial_time=initial)
+
+    def test_finite_initial_time_accepted(self):
+        assert Environment(initial_time=-5.0).now == -5.0
+
+    def test_heap_order_survives_mixed_inserts(self):
+        """End-to-end: valid events around rejected ones stay ordered."""
+        env = Environment()
+        order = []
+        for delay in (3.0, 1.0):
+            env.timeout(delay, value=delay).callbacks.append(
+                lambda e: order.append(e.value)
+            )
+        for bad in (NAN, -1.0, INF):
+            with pytest.raises(SimulationError):
+                env.timeout(bad)
+        env.timeout(2.0, value=2.0).callbacks.append(
+            lambda e: order.append(e.value)
+        )
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+        assert not math.isnan(env.now)
