@@ -28,6 +28,12 @@ Subcommands
     CSV.
 ``table``
     Print Table 1 (model parameters) or Table 2 (heterogeneity levels).
+``report``
+    Render a saved run bundle (``repro trace``/``save_run_artifacts``
+    output) as a self-contained markdown or HTML report, or — with
+    ``--compare A B`` — diff two bundles on the headline metrics and
+    (with ``--fail-on-regression``) exit non-zero when the candidate
+    regressed beyond ``--threshold`` percent.
 ``policies``
     List every policy name the registry knows.
 
@@ -36,6 +42,12 @@ accept ``--workers N`` to fan their independent simulations out over N
 worker processes; outputs are bit-identical for any value (each cell's
 seed is fixed before submission) and a timing block is printed whenever
 N > 1. See ``docs/PERFORMANCE.md``.
+
+Every simulating command also accepts ``--progress`` (a live terminal
+progress line: completed/total cells, throughput, ETA, busy workers)
+and ``--progress-log PATH`` (a machine-readable JSONL heartbeat log);
+both observe the run without perturbing it — results are identical
+with or without them. See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -120,6 +132,36 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for multi-cell commands (default 1 = "
         "serial; results are identical for any value)",
     )
+    parser.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction, default=False,
+        help="show a live progress line (cells done, cells/s, ETA, busy "
+        "workers) on stderr; results are identical either way",
+    )
+    parser.add_argument(
+        "--progress-log", metavar="PATH", default=None,
+        help="append per-cell started/finished heartbeats to PATH as "
+        "JSONL (tail-able while the batch runs)",
+    )
+
+
+def _progress_sink(args: argparse.Namespace):
+    """The progress sink the flags ask for, or ``None`` for silence."""
+    sinks = []
+    if getattr(args, "progress", False):
+        from .obs.progress import TerminalProgressRenderer
+
+        sinks.append(TerminalProgressRenderer())
+    if getattr(args, "progress_log", None):
+        from .obs.progress import JsonlProgressSink
+
+        sinks.append(JsonlProgressSink(args.progress_log))
+    if not sinks:
+        return None
+    if len(sinks) == 1:
+        return sinks[0]
+    from .obs.progress import TeeProgressSink
+
+    return TeeProgressSink(sinks)
 
 
 def _parse_trace_categories(text: str) -> Optional[Tuple[str, ...]]:
@@ -261,6 +303,51 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("table_id", choices=("table1", "table2"))
     _add_workers_argument(table_parser)  # tables are static data; a no-op
 
+    report_parser = sub.add_parser(
+        "report",
+        help="render a saved run bundle as a report, or diff two "
+        "bundles with a regression gate",
+    )
+    report_parser.add_argument(
+        "bundle", nargs="+",
+        help="bundle directory written by 'repro trace' or "
+        "save_run_artifacts (two directories with --compare: "
+        "baseline then candidate)",
+    )
+    report_parser.add_argument(
+        "--compare", action="store_true",
+        help="diff two bundles (baseline candidate) instead of "
+        "rendering one",
+    )
+    report_parser.add_argument(
+        "--format", choices=("markdown", "html"), default="markdown",
+        help="output format (default: markdown)",
+    )
+    report_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    report_parser.add_argument(
+        "--stem", default=None,
+        help="bundle file stem (default: auto-detected, 'run' for "
+        "'repro trace' bundles)",
+    )
+    report_parser.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="regression threshold in percent for --compare "
+        "(default: 5.0)",
+    )
+    report_parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="with --compare: exit non-zero when any gated metric "
+        "regressed beyond the threshold",
+    )
+    report_parser.add_argument(
+        "--gate-wall-time", action="store_true",
+        help="with --compare: include wall time in the regression gate "
+        "(off by default; it is hardware-dependent)",
+    )
+
     grid_parser = sub.add_parser(
         "grid", help="full-factorial run over two parameters"
     )
@@ -289,7 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    progress = _progress_sink(args)
+    try:
+        return _run_command(args, progress)
+    finally:
+        if progress is not None:
+            progress.close()
 
+
+def _run_command(args: argparse.Namespace, progress) -> int:
     if args.command == "run":
         traced = args.trace is not None
         config = _scenario_config(
@@ -301,7 +396,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 _parse_trace_categories(args.trace) if traced else None
             ),
         )
-        result = run_simulation(config)
+        if progress is not None:
+            executor = ParallelExecutor(workers=1, progress=progress)
+            result = executor.run_simulations(
+                [config], labels=[args.policy]
+            )[0]
+        else:
+            result = run_simulation(config)
         if args.report:
             from .analysis import full_report
 
@@ -366,13 +467,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace=True,
             trace_categories=_parse_trace_categories(args.categories),
         )
-        result = run_simulation(config)
+        executor = ParallelExecutor(workers=1, progress=progress)
+        result = executor.run_simulations([config], labels=[args.policy])[0]
         from .experiments.persistence import save_run_artifacts
 
         paths = save_run_artifacts(
             result,
             args.out,
-            extra={"command": "trace", "categories": args.categories},
+            extra={
+                "command": "trace",
+                "categories": args.categories,
+                "wall_time": executor.last_stats.wall_time,
+            },
+            workers=1,
         )
         print(render_result(result))
         _print_observability(result)
@@ -383,7 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "compare":
         base = _scenario_config(args, args.policy[0])
-        executor = ParallelExecutor(workers=args.workers)
+        executor = ParallelExecutor(workers=args.workers, progress=progress)
         results = compare_policies(base, args.policy, executor=executor)
         print(render_comparison(results))
         _print_execution(executor.last_stats, labels=list(args.policy))
@@ -412,7 +519,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         base = _scenario_config(args, args.policy)
         from .experiments.runner import sweep as run_sweep
 
-        executor = ParallelExecutor(workers=args.workers)
+        executor = ParallelExecutor(workers=args.workers, progress=progress)
         rows = [
             (value, f"{metric:.3f}", f"{result.mean_max_utilization:.3f}")
             for value, metric, result in run_sweep(
@@ -432,7 +539,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "figure":
         figure = FIGURES[args.figure_id](
-            duration=args.duration, seed=args.seed, workers=args.workers
+            duration=args.duration,
+            seed=args.seed,
+            workers=args.workers,
+            executor=ParallelExecutor(
+                workers=args.workers, progress=progress
+            ),
         )
         print(figure_to_csv(figure) if args.csv else render_figure(figure))
         if args.save:
@@ -477,7 +589,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         grid = run_grid(
             base,
             {row_field: row_values, col_field: col_values},
-            workers=args.workers,
+            executor=ParallelExecutor(
+                workers=args.workers, progress=progress
+            ),
         )
         print(grid.pivot_table(row_field, col_field))
         _print_execution(
@@ -487,6 +601,56 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for params, _ in grid.cells
             ],
         )
+        return 0
+
+    if args.command == "report":
+        from .obs.report import compare_bundles, load_bundle, render_report
+
+        def emit(text: str) -> None:
+            if args.out:
+                path = pathlib.Path(args.out)
+                if path.parent != pathlib.Path(""):
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text)
+                print(f"[report written to {path}]")
+            else:
+                print(text)
+
+        if args.compare:
+            if len(args.bundle) != 2:
+                print(
+                    "error: --compare takes exactly two bundles "
+                    "(baseline candidate)",
+                    file=sys.stderr,
+                )
+                return 2
+            comparison = compare_bundles(
+                load_bundle(args.bundle[0], stem=args.stem),
+                load_bundle(args.bundle[1], stem=args.stem),
+                threshold_pct=args.threshold,
+                gate_wall_time=args.gate_wall_time,
+            )
+            emit(comparison.render(args.format))
+            if not comparison.passed:
+                names = ", ".join(
+                    delta.name for delta in comparison.regressions()
+                )
+                print(
+                    f"regression beyond {args.threshold:g}%: {names}",
+                    file=sys.stderr,
+                )
+                if args.fail_on_regression:
+                    return 1
+            return 0
+        if len(args.bundle) != 1:
+            print(
+                "error: expected one bundle directory (use --compare "
+                "for two)",
+                file=sys.stderr,
+            )
+            return 2
+        bundle = load_bundle(args.bundle[0], stem=args.stem)
+        emit(render_report(bundle, args.format))
         return 0
 
     if args.command == "validate":

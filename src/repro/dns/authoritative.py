@@ -79,12 +79,17 @@ class AuthoritativeDns:
         self.tracer = tracer if tracer is not None else NullTracer()
         self.domain_weight = domain_weight
         self.policy_label = policy_label or type(scheduler).__name__
+        self._ttl_series = None
         if metrics is not None:
             metrics.register("dns.resolutions", lambda: self.stats.resolutions)
             metrics.register(
                 "dns.mean_granted_ttl",
                 lambda: self.stats.ttl.mean if self.stats.ttl.count else 0.0,
             )
+            # Timeline of the TTLs actually assigned — the adaptive
+            # policies' control signal over time, one point per
+            # resolution (bounded by the series budget).
+            self._ttl_series = metrics.timeseries("dns.assigned_ttl")
 
     def resolve(self, domain_id: int, now: float) -> AddressRecord:
         """Handle one address-mapping request from ``domain_id``."""
@@ -96,6 +101,8 @@ class AuthoritativeDns:
             # TTL through this hook.
             notify(domain_id, server_id, ttl, now)
         self.stats.record(domain_id, server_id, ttl)
+        if self._ttl_series is not None:
+            self._ttl_series.record(now, ttl)
         if self.tracer.enabled:
             self.tracer.record(
                 now,

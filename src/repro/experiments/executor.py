@@ -30,13 +30,16 @@ The price of ``workers>1`` is process startup plus pickling each
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import ConfigurationError
+from ..obs.progress import FINISHED, STARTED, ProgressEvent, ProgressSink
 from .config import SimulationConfig
 from .metrics import SimulationResult
 from .simulation import run_simulation
@@ -85,13 +88,26 @@ class ExecutionStats:
 
     @property
     def speedup(self) -> float:
-        """Serial-equivalent time over observed wall time (>= 0)."""
-        if self.wall_time <= 0:
+        """Serial-equivalent time over observed wall time.
+
+        ``0.0`` for an empty batch (there was nothing to speed up);
+        ``inf`` when cells ran but the wall clock measured zero — work
+        happened in no measurable time, which only a degenerate clock
+        resolution produces, and which must not masquerade as the 0.0
+        of an empty batch.
+        """
+        if not self.cell_times:
             return 0.0
+        if self.wall_time <= 0:
+            return float("inf")
         return self.total_cell_time / self.wall_time
 
     def summary_rows(self) -> List[Tuple[str, str]]:
         """(label, value) pairs for the reporting layer."""
+        if not self.cell_times or self.wall_time <= 0:
+            rendered_speedup = "n/a"
+        else:
+            rendered_speedup = f"{self.speedup:.2f}x"
         return [
             ("workers", str(self.workers)),
             ("cells", str(self.cell_count)),
@@ -99,7 +115,7 @@ class ExecutionStats:
             ("cell time (mean)", f"{self.mean_cell_time:.3f} s"),
             ("cell time (max)", f"{self.max_cell_time:.3f} s"),
             ("cell time (total)", f"{self.total_cell_time:.3f} s"),
-            ("speedup vs serial", f"{self.speedup:.2f}x"),
+            ("speedup vs serial", rendered_speedup),
         ]
 
 
@@ -111,10 +127,53 @@ def _timed_call(fn: Callable[[T], R], item: T) -> Tuple[R, float]:
 
 
 def _run_chunk(
-    fn: Callable[[T], R], chunk: Sequence[T]
+    fn: Callable[[T], R],
+    chunk: Sequence[T],
+    queue=None,
+    base_index: int = 0,
+    labels: Optional[Sequence[Optional[str]]] = None,
 ) -> List[Tuple[R, float]]:
-    """Worker entry point: run one chunk of cells, timing each."""
-    return [_timed_call(fn, item) for item in chunk]
+    """Worker entry point: run one chunk of cells, timing each.
+
+    With a ``queue`` (a picklable ``multiprocessing.Manager`` queue),
+    one ``started`` and one ``finished`` :class:`ProgressEvent` per cell
+    are put on it, carrying the cell's submission-order index
+    (``base_index`` + position), its label and this worker's pid. The
+    heartbeats are pure observation — they never touch the cell's
+    work — so results are bit-identical with or without a queue.
+    """
+    if queue is None:
+        return [_timed_call(fn, item) for item in chunk]
+    pid = os.getpid()
+    outcomes: List[Tuple[R, float]] = []
+    for position, item in enumerate(chunk):
+        index = base_index + position
+        label = labels[position] if labels is not None else None
+        queue.put(ProgressEvent(
+            kind=STARTED, index=index, label=label, worker=pid,
+            timestamp=time.time(),
+        ))
+        outcome = _timed_call(fn, item)
+        outcomes.append(outcome)
+        queue.put(ProgressEvent(
+            kind=FINISHED, index=index, label=label, worker=pid,
+            elapsed=outcome[1], timestamp=time.time(),
+        ))
+    return outcomes
+
+
+def _drain_queue(queue, sink: ProgressSink) -> None:
+    """Forward queued heartbeats to ``sink`` until the ``None`` sentinel.
+
+    Runs on a daemon thread in the parent process, so :meth:`emit` is
+    never called concurrently with itself and terminal rendering stays
+    off the result-collection path.
+    """
+    while True:
+        event = queue.get()
+        if event is None:
+            return
+        sink.emit(event)
 
 
 class ParallelExecutor:
@@ -133,6 +192,14 @@ class ParallelExecutor:
         submission overhead, small enough to keep workers load-balanced.
         Explicit values below 1 raise
         :class:`~repro.errors.ConfigurationError`.
+    progress:
+        An optional :class:`~repro.obs.progress.ProgressSink` receiving
+        ``begin``/``started``/``finished``/``finish`` callbacks for each
+        batch. ``None`` (default) keeps the executor exactly as before —
+        no queue, no manager process, no per-cell overhead. Heartbeats
+        are emitted from inside the workers (over a ``multiprocessing``
+        manager queue) or inline on the serial path, and never perturb
+        cell seeding or results.
 
     After each :meth:`map` / :meth:`run_simulations` call,
     :attr:`last_stats` holds the batch's :class:`ExecutionStats`.
@@ -142,6 +209,7 @@ class ParallelExecutor:
         self,
         workers: Optional[int] = 1,
         chunk_size: Optional[int] = None,
+        progress: Optional[ProgressSink] = None,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
@@ -149,6 +217,7 @@ class ParallelExecutor:
                 f"chunk_size must be >= 1, got {chunk_size!r}"
             )
         self.chunk_size = chunk_size
+        self.progress = progress
         self.last_stats: Optional[ExecutionStats] = None
 
     def _chunks(self, items: List[T]) -> List[List[T]]:
@@ -157,7 +226,12 @@ class ParallelExecutor:
             size = max(1, len(items) // (self.workers * 4))
         return [items[i : i + size] for i in range(0, len(items), size)]
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[R]:
         """Apply ``fn`` to every item; results come back in input order.
 
         With ``workers=1`` this is a plain loop: ``fn`` and the items
@@ -165,8 +239,40 @@ class ParallelExecutor:
         With ``workers>1``, ``fn`` must be a module-level callable and
         items/results must pickle; a cell's exception is re-raised here
         as soon as its chunk is collected.
+
+        ``labels`` (optional, one per item) name the cells in progress
+        heartbeats; they are ignored without a progress sink.
         """
         items = list(items)
+        if labels is not None and len(labels) != len(items):
+            raise ConfigurationError(
+                f"got {len(labels)} labels for {len(items)} items"
+            )
+        sink = self.progress
+        if sink is None:
+            return self._map_silent(fn, items)
+        sink.begin(len(items), self.workers)
+        try:
+            results = self._map_observed(fn, items, labels)
+        except BaseException:
+            sink.finish(None)
+            raise
+        sink.finish(self.last_stats)
+        return results
+
+    def _finish_batch(
+        self, start: float, outcomes: List[Tuple[R, float]]
+    ) -> List[R]:
+        """Record :attr:`last_stats` and strip the per-cell timings."""
+        self.last_stats = ExecutionStats(
+            workers=self.workers,
+            wall_time=time.perf_counter() - start,
+            cell_times=[elapsed for _, elapsed in outcomes],
+        )
+        return [result for result, _ in outcomes]
+
+    def _map_silent(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        """The original no-observer path: zero progress overhead."""
         start = time.perf_counter()
         if self.workers == 1 or len(items) <= 1:
             outcomes = [_timed_call(fn, item) for item in items]
@@ -182,19 +288,78 @@ class ParallelExecutor:
                 outcomes = [
                     outcome for future in futures for outcome in future.result()
                 ]
-        wall_time = time.perf_counter() - start
-        self.last_stats = ExecutionStats(
-            workers=self.workers,
-            wall_time=wall_time,
-            cell_times=[elapsed for _, elapsed in outcomes],
-        )
-        return [result for result, _ in outcomes]
+        return self._finish_batch(start, outcomes)
+
+    def _map_observed(
+        self,
+        fn: Callable[[T], R],
+        items: List[T],
+        labels: Optional[Sequence[Optional[str]]],
+    ) -> List[R]:
+        """The same batch semantics, with per-cell heartbeats emitted."""
+        sink = self.progress
+        start = time.perf_counter()
+        if self.workers == 1 or len(items) <= 1:
+            pid = os.getpid()
+            outcomes = []
+            for index, item in enumerate(items):
+                label = labels[index] if labels is not None else None
+                sink.emit(ProgressEvent(
+                    kind=STARTED, index=index, label=label, worker=pid,
+                    timestamp=time.time(),
+                ))
+                outcome = _timed_call(fn, item)
+                outcomes.append(outcome)
+                sink.emit(ProgressEvent(
+                    kind=FINISHED, index=index, label=label, worker=pid,
+                    elapsed=outcome[1], timestamp=time.time(),
+                ))
+            return self._finish_batch(start, outcomes)
+
+        chunks = self._chunks(items)
+        pool_size = min(self.workers, len(chunks))
+        # A Manager queue (unlike a raw mp.Queue) pickles as a pool-task
+        # argument; created only here, so silent batches pay nothing.
+        with multiprocessing.Manager() as manager:
+            queue = manager.Queue()
+            drainer = threading.Thread(
+                target=_drain_queue, args=(queue, sink), daemon=True
+            )
+            drainer.start()
+            try:
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    futures = []
+                    base_index = 0
+                    for chunk in chunks:
+                        chunk_labels = (
+                            list(labels[base_index:base_index + len(chunk)])
+                            if labels is not None else None
+                        )
+                        futures.append(pool.submit(
+                            _run_chunk, fn, chunk, queue, base_index,
+                            chunk_labels,
+                        ))
+                        base_index += len(chunk)
+                    outcomes = [
+                        outcome
+                        for future in futures
+                        for outcome in future.result()
+                    ]
+            finally:
+                # All workers are done (or dead): the queue holds every
+                # event they ever put, so the sentinel lands last and
+                # the drainer forwards everything before exiting.
+                queue.put(None)
+                drainer.join()
+        return self._finish_batch(start, outcomes)
 
     def run_simulations(
-        self, configs: Sequence[SimulationConfig]
+        self,
+        configs: Sequence[SimulationConfig],
+        labels: Optional[Sequence[Optional[str]]] = None,
     ) -> List[SimulationResult]:
         """Run one simulation per config (the common experiment cell)."""
-        return self.map(run_simulation, configs)
+        return self.map(run_simulation, configs, labels=labels)
 
     def __repr__(self) -> str:
         return (

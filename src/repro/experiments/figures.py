@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..web.cluster import HETEROGENEITY_LEVELS
 from .config import PAPER_DURATION, SimulationConfig
+from .executor import ParallelExecutor
 from .metrics import OVERLOAD_THRESHOLD
 from .runner import compare_policies, sweep
 from .simulation import run_simulation
@@ -137,10 +138,11 @@ def _cdf_figure(
     seed: int,
     grid: Sequence[float],
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     duration = duration if duration is not None else default_duration()
     base = _base_config(duration, seed, heterogeneity=heterogeneity)
-    results = compare_policies(base, policies, workers=workers)
+    results = compare_policies(base, policies, workers=workers, executor=executor)
     series = [
         Series(
             label=policy,
@@ -164,6 +166,7 @@ def fig1(
     seed: int = 1,
     grid: Sequence[float] = tuple(MAX_UTILIZATION_GRID),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 1 — deterministic algorithms, heterogeneity 20%."""
     return _cdf_figure(
@@ -175,6 +178,7 @@ def fig1(
         seed=seed,
         grid=grid,
         workers=workers,
+        executor=executor,
     )
 
 
@@ -183,6 +187,7 @@ def fig2(
     seed: int = 1,
     grid: Sequence[float] = tuple(MAX_UTILIZATION_GRID),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 2 — probabilistic algorithms, heterogeneity 35%."""
     return _cdf_figure(
@@ -194,6 +199,7 @@ def fig2(
         seed=seed,
         grid=grid,
         workers=workers,
+        executor=executor,
     )
 
 
@@ -208,6 +214,7 @@ def _sweep_figure(
     seed: int,
     threshold: float = OVERLOAD_THRESHOLD,
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
     **base_overrides,
 ) -> FigureResult:
     duration = duration if duration is not None else default_duration()
@@ -220,6 +227,7 @@ def _sweep_figure(
             values,
             metric=lambda result: result.prob_max_below(threshold),
             workers=workers,
+            executor=executor,
         )
         series.append(
             Series(
@@ -243,6 +251,7 @@ def fig3(
     seed: int = 1,
     levels: Sequence[int] = tuple(HETEROGENEITY_SWEEP),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 3 — sensitivity to system heterogeneity (20-65%)."""
     return _sweep_figure(
@@ -255,6 +264,7 @@ def fig3(
         duration=duration,
         seed=seed,
         workers=workers,
+        executor=executor,
     )
 
 
@@ -263,6 +273,7 @@ def fig4(
     seed: int = 1,
     thresholds: Sequence[float] = tuple(MIN_TTL_SWEEP),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 4 — sensitivity to the minimum accepted TTL (Het. 20%)."""
     return _sweep_figure(
@@ -275,6 +286,7 @@ def fig4(
         duration=duration,
         seed=seed,
         workers=workers,
+        executor=executor,
         heterogeneity=20,
     )
 
@@ -284,6 +296,7 @@ def fig5(
     seed: int = 1,
     thresholds: Sequence[float] = tuple(MIN_TTL_SWEEP),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 5 — sensitivity to the minimum accepted TTL (Het. 50%)."""
     return _sweep_figure(
@@ -296,6 +309,7 @@ def fig5(
         duration=duration,
         seed=seed,
         workers=workers,
+        executor=executor,
         heterogeneity=50,
     )
 
@@ -305,6 +319,7 @@ def fig6(
     seed: int = 1,
     errors: Sequence[float] = tuple(ERROR_SWEEP),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 6 — sensitivity to hidden-load estimation error (Het. 20%)."""
     return _sweep_figure(
@@ -317,6 +332,7 @@ def fig6(
         duration=duration,
         seed=seed,
         workers=workers,
+        executor=executor,
         heterogeneity=20,
     )
 
@@ -326,6 +342,7 @@ def fig7(
     seed: int = 1,
     errors: Sequence[float] = tuple(ERROR_SWEEP),
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FigureResult:
     """Figure 7 — sensitivity to hidden-load estimation error (Het. 50%)."""
     return _sweep_figure(
@@ -338,6 +355,7 @@ def fig7(
         duration=duration,
         seed=seed,
         workers=workers,
+        executor=executor,
         heterogeneity=50,
     )
 

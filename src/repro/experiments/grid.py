@@ -158,8 +158,13 @@ def run_grid(
         for assignment in assignments:
             progress(assignment)
     runner = executor if executor is not None else ParallelExecutor(workers=workers)
+    labels = [
+        ",".join(f"{name}={assignment[name]}" for name in names)
+        for assignment in assignments
+    ]
     results = runner.run_simulations(
-        [base.replace(**assignment) for assignment in assignments]
+        [base.replace(**assignment) for assignment in assignments],
+        labels=labels,
     )
     return GridResult(
         parameters=names,

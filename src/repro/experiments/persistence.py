@@ -20,7 +20,7 @@ import pathlib
 from typing import Any, Dict, Optional, Union
 
 from ..errors import ConfigurationError
-from ..obs.export import write_trace_jsonl
+from ..obs.export import write_metrics_prom, write_trace_jsonl
 from ..obs.provenance import write_manifest
 from .config import SimulationConfig
 from .figures import FigureResult, Series
@@ -179,25 +179,36 @@ def save_run_artifacts(
     *,
     stem: str = "run",
     extra: Optional[Dict[str, Any]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, pathlib.Path]:
     """Write one run's full observability bundle into ``directory``.
 
     Always writes ``<stem>.json`` (the result) and — when the result
     carries its config — ``<stem>.manifest.json`` (provenance: config,
-    seed, package version, git state). When the run was traced,
-    ``<stem>.trace.jsonl`` holds every trace record, one JSON object per
-    line. Returns the written paths keyed by artifact name.
+    seed, package version, git state, environment fingerprint;
+    ``workers`` records the executor worker count there). When the run
+    was traced, ``<stem>.trace.jsonl`` holds every trace record, one
+    JSON object per line; when the result carries a metrics snapshot,
+    ``<stem>.metrics.prom`` holds its Prometheus text exposition.
+    Returns the written paths keyed by artifact name.
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     paths = {"result": save_json(result, directory / f"{stem}.json")}
     if isinstance(result.config, SimulationConfig):
         paths["manifest"] = write_manifest(
-            result.config, directory / f"{stem}.manifest.json", extra=extra
+            result.config,
+            directory / f"{stem}.manifest.json",
+            extra=extra,
+            workers=workers,
         )
     if result.trace is not None:
         paths["trace"] = write_trace_jsonl(
             result.trace, directory / f"{stem}.trace.jsonl"
+        )
+    if result.metrics:
+        paths["prom"] = write_metrics_prom(
+            result.metrics, directory / f"{stem}.metrics.prom"
         )
     return paths
 

@@ -120,7 +120,16 @@ def render_metrics(metrics: Dict[str, object]) -> str:
     """
     rows = []
     for name, value in sorted(metrics.items()):
-        if isinstance(value, dict):  # time-weighted histogram snapshot
+        if isinstance(value, dict) and value.get("kind") == "timeseries":
+            if value["samples"]:
+                last_time, last_value = value["samples"][-1]
+                rendered = (
+                    f"n={value['observations']} "
+                    f"last={last_value:.4f}@{last_time:.0f}s"
+                )
+            else:
+                rendered = "no observations"
+        elif isinstance(value, dict):  # time-weighted histogram snapshot
             if value.get("max") is None:
                 rendered = "no observations"
             else:

@@ -96,7 +96,10 @@ def run_replications(
         for index in range(replications)
     ]
     runner = _executor(workers, executor)
-    results = runner.run_simulations(configs)
+    results = runner.run_simulations(
+        configs,
+        labels=[f"replication {index}" for index in range(replications)],
+    )
     return ReplicationSet(
         config=config, results=results, execution=runner.last_stats
     )
@@ -138,7 +141,9 @@ def sweep(
     if metric is None:
         metric = lambda result: result.prob_max_below(OVERLOAD_THRESHOLD)
     configs = [base.replace(**{parameter: value}) for value in values]
-    results = _executor(workers, executor).run_simulations(configs)
+    results = _executor(workers, executor).run_simulations(
+        configs, labels=[f"{parameter}={value}" for value in values]
+    )
     return [
         (value, metric(result), result)
         for value, result in zip(values, results)
@@ -153,5 +158,7 @@ def compare_policies(
 ) -> Dict[str, SimulationResult]:
     """Run the same scenario under each policy (common random seed)."""
     configs = [base.replace(policy=policy) for policy in policies]
-    results = _executor(workers, executor).run_simulations(configs)
+    results = _executor(workers, executor).run_simulations(
+        configs, labels=list(policies)
+    )
     return dict(zip(policies, results))

@@ -152,12 +152,23 @@ class Simulation:
             )
         else:
             self.alarm_protocol = None
+        # Timeline of the DNS-controlled request fraction, sampled once
+        # per utilization window by piggybacking on the monitor's sink
+        # (the population is wired a few lines below; by the first
+        # window — interval seconds in — it exists).
+        control_series = self.metrics.timeseries("workload.control_fraction")
+        collector_sink = self.collector.sink
+
+        def _windowed_sink(now, utilizations):
+            collector_sink(now, utilizations)
+            control_series.record(now, self.population.dns_control_fraction)
+
         self.monitor = UtilizationMonitor(
             self.env,
             self.cluster.servers,
             interval=config.utilization_interval,
             alarm_protocol=self.alarm_protocol,
-            sample_sink=self.collector.sink,
+            sample_sink=_windowed_sink,
             tracer=self.tracer,
             metrics=self.metrics,
         )

@@ -1,58 +1,114 @@
-"""Unified observability layer: metrics, trace export, provenance.
+"""Unified observability layer: metrics, trace export, provenance, telemetry.
 
-Three cooperating pieces sit on top of the
+Five cooperating pieces sit on top of the
 :mod:`repro.sim.tracing` tracer skeleton:
 
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
-  gauges and time-weighted histograms that every simulation subsystem
-  registers into (pull-based, so the hot path pays nothing);
-* :mod:`repro.obs.export` — JSONL serialization of trace records and the
-  per-category count fingerprint of a traced run;
-* :mod:`repro.obs.provenance` — per-run manifests (config, seed, package
-  version, git state) written next to experiment outputs.
+  gauges, time-weighted histograms and bounded :class:`TimeSeries` that
+  every simulation subsystem registers into (pull-based, so the hot
+  path pays nothing);
+* :mod:`repro.obs.export` — JSONL serialization of trace records (with
+  a salvage mode for truncated files), the per-category count
+  fingerprint of a traced run, and Prometheus text exposition of
+  metrics snapshots;
+* :mod:`repro.obs.provenance` — per-run manifests (config, seed,
+  package version, git state, environment fingerprint) written next to
+  experiment outputs;
+* :mod:`repro.obs.progress` — streaming per-cell heartbeats from the
+  parallel executor into terminal renderers and JSONL progress logs;
+* :mod:`repro.obs.report` — self-contained run reports from saved
+  bundles, and regression-gating comparisons between two bundles.
 
 See ``docs/OBSERVABILITY.md`` for the category catalogue, the JSONL
-schema and the measured overhead numbers.
+schemas, the live-telemetry workflow and the measured overhead numbers.
 """
 
 from .export import (
+    TraceDamage,
     category_counts,
+    metrics_to_prom_text,
     read_trace_jsonl,
     record_from_dict,
     record_to_dict,
+    salvage_trace_jsonl,
+    write_metrics_prom,
     write_trace_jsonl,
 )
 from .metrics import (
+    TIMESERIES_BUDGET,
     UTILIZATION_BINS,
     Counter,
     Gauge,
     MetricsRegistry,
+    TimeSeries,
     TimeWeightedHistogram,
+)
+from .progress import (
+    FINISHED,
+    STARTED,
+    JsonlProgressSink,
+    NullProgressSink,
+    ProgressEvent,
+    ProgressSink,
+    TeeProgressSink,
+    TerminalProgressRenderer,
+    read_progress_jsonl,
 )
 from .provenance import (
     MANIFEST_KIND,
     MANIFEST_VERSION,
     build_manifest,
+    environment_fingerprint,
     git_describe,
     read_manifest,
     write_manifest,
 )
+from .report import (
+    BundleComparison,
+    MetricDelta,
+    RunBundle,
+    compare_bundles,
+    load_bundle,
+    render_report,
+)
 
 __all__ = [
+    "BundleComparison",
     "Counter",
+    "FINISHED",
     "Gauge",
+    "JsonlProgressSink",
     "MANIFEST_KIND",
     "MANIFEST_VERSION",
+    "MetricDelta",
     "MetricsRegistry",
+    "NullProgressSink",
+    "ProgressEvent",
+    "ProgressSink",
+    "RunBundle",
+    "STARTED",
+    "TIMESERIES_BUDGET",
+    "TeeProgressSink",
+    "TerminalProgressRenderer",
+    "TimeSeries",
     "TimeWeightedHistogram",
+    "TraceDamage",
     "UTILIZATION_BINS",
     "build_manifest",
     "category_counts",
+    "compare_bundles",
+    "environment_fingerprint",
     "git_describe",
+    "load_bundle",
+    "metrics_to_prom_text",
     "read_manifest",
+    "read_progress_jsonl",
     "read_trace_jsonl",
     "record_from_dict",
     "record_to_dict",
+    "render_report",
+    "salvage_trace_jsonl",
+    "write_metrics_prom",
     "write_trace_jsonl",
     "write_manifest",
 ]

@@ -15,12 +15,34 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Iterable, List, Union
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..sim.tracing import TraceRecord
 
 PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class TraceDamage:
+    """Where and why a trace file stopped being readable.
+
+    ``byte_offset`` is the offset of the first damaged line's start —
+    the point up to which the file is intact (e.g. to truncate a
+    crashed run's trace back to a fully valid JSONL file).
+    """
+
+    line_number: int
+    byte_offset: int
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"line {self.line_number} (byte offset {self.byte_offset}): "
+            f"{self.reason}"
+        )
 
 
 def record_to_dict(record: TraceRecord) -> Dict[str, object]:
@@ -57,22 +79,134 @@ def write_trace_jsonl(
     return path
 
 
-def read_trace_jsonl(path: PathLike) -> List[TraceRecord]:
-    """Load every trace record written by :func:`write_trace_jsonl`."""
+def read_trace_jsonl(
+    path: PathLike, *, strict: bool = True
+) -> List[TraceRecord]:
+    """Load every trace record written by :func:`write_trace_jsonl`.
+
+    ``strict=True`` (the default) raises
+    :class:`~repro.errors.ConfigurationError` on the first malformed
+    line. ``strict=False`` is the salvage mode for the trace of a
+    crashed or killed run — whose final line is typically truncated
+    mid-record — returning every complete record and silently dropping
+    the damage; use :func:`salvage_trace_jsonl` when the damage location
+    matters.
+    """
+    records, _ = salvage_trace_jsonl(path, strict=strict)
+    return records
+
+
+def salvage_trace_jsonl(
+    path: PathLike, *, strict: bool = False
+) -> Tuple[List[TraceRecord], Optional[TraceDamage]]:
+    """Read a trace file, reporting where (if anywhere) it is damaged.
+
+    Returns ``(records, damage)``: all records up to the first
+    unreadable line, and a :class:`TraceDamage` naming that line and its
+    byte offset (``None`` for a fully intact file). With ``strict=True``
+    the damage is raised as :class:`~repro.errors.ConfigurationError`
+    instead (matching :func:`read_trace_jsonl`'s default behaviour).
+    """
     records: List[TraceRecord] = []
-    with pathlib.Path(path).open("r", encoding="utf-8") as stream:
-        for line_number, line in enumerate(stream, start=1):
-            line = line.strip()
+    byte_offset = 0
+    with pathlib.Path(path).open("r", encoding="utf-8", newline="") as stream:
+        for line_number, raw_line in enumerate(stream, start=1):
+            line = raw_line.strip()
             if not line:
+                byte_offset += len(raw_line.encode("utf-8"))
                 continue
             try:
                 data = json.loads(line)
+                record = record_from_dict(data)
             except json.JSONDecodeError as exc:
-                raise ConfigurationError(
-                    f"{path}:{line_number}: not valid JSON"
-                ) from exc
-            records.append(record_from_dict(data))
-    return records
+                if strict:
+                    raise ConfigurationError(
+                        f"{path}:{line_number}: not valid JSON"
+                    ) from exc
+                return records, TraceDamage(
+                    line_number, byte_offset, "not valid JSON"
+                )
+            except ConfigurationError as exc:
+                if strict:
+                    raise
+                return records, TraceDamage(
+                    line_number, byte_offset, str(exc)
+                )
+            records.append(record)
+            byte_offset += len(raw_line.encode("utf-8"))
+    return records, None
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A legal Prometheus metric name for a dotted registry name."""
+    return prefix + "_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prom_number(value: float) -> str:
+    """Prometheus-style rendering of one sample value."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def metrics_to_prom_text(
+    metrics: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Prometheus text exposition of a metrics-registry snapshot.
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict (as
+    carried on ``SimulationResult.metrics``). Scalars become untyped
+    samples; :class:`~repro.obs.metrics.TimeWeightedHistogram` snapshots
+    become cumulative ``_seconds_bucket{le=...}`` series (bucket values
+    are *seconds spent* below each edge, the time-weighted analogue of
+    observation counts) plus ``_seconds_sum`` / ``_count``;
+    :class:`~repro.obs.metrics.TimeSeries` snapshots export their latest
+    value as a gauge plus an ``_observations`` counter (a text
+    exposition carries current state, not history — the full timeline
+    stays in the result JSON). Non-numeric values are skipped with a
+    ``# skipped`` comment so the exposition always parses.
+    """
+    lines: List[str] = []
+    for name, value in sorted(metrics.items()):
+        full = _prom_name(name, prefix)
+        if isinstance(value, dict) and value.get("kind") == "timeseries":
+            lines.append(f"# TYPE {full} gauge")
+            if value["samples"]:
+                lines.append(f"{full} {_prom_number(value['samples'][-1][1])}")
+            lines.append(f"# TYPE {full}_observations counter")
+            lines.append(f"{full}_observations {value['observations']}")
+        elif isinstance(value, dict) and "bucket_seconds" in value:
+            lines.append(f"# TYPE {full}_seconds histogram")
+            cumulative = 0.0
+            for edge, seconds in zip(value["bins"], value["bucket_seconds"]):
+                cumulative += seconds
+                lines.append(
+                    f'{full}_seconds_bucket{{le="{edge:g}"}} '
+                    f"{_prom_number(cumulative)}"
+                )
+            lines.append(
+                f'{full}_seconds_bucket{{le="+Inf"}} '
+                f"{_prom_number(value['total_seconds'])}"
+            )
+            weighted_sum = value["mean"] * value["total_seconds"]
+            lines.append(f"{full}_seconds_sum {_prom_number(weighted_sum)}")
+            lines.append(f"{full}_count {value['observations']}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"{full} {_prom_number(value)}")
+        else:
+            lines.append(f"# skipped {full}: non-numeric value")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_prom(
+    metrics: Dict[str, Any], path: PathLike, prefix: str = "repro"
+) -> pathlib.Path:
+    """Write :func:`metrics_to_prom_text` output to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(metrics_to_prom_text(metrics, prefix=prefix))
+    return path
 
 
 def category_counts(records: Iterable[TraceRecord]) -> Dict[str, int]:

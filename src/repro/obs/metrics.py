@@ -28,6 +28,9 @@ from ..errors import ConfigurationError
 #: the overload indicator).
 UTILIZATION_BINS = (0.5, 0.75, 0.9, 0.98)
 
+#: Default sample budget of a :class:`TimeSeries` instrument.
+TIMESERIES_BUDGET = 256
+
 
 class Counter:
     """A monotonically increasing integer instrument."""
@@ -138,6 +141,77 @@ class TimeWeightedHistogram:
         }
 
 
+class TimeSeries:
+    """Bounded ``(time, value)`` samples of an irregularly sampled signal.
+
+    The instrument behind the timeline views: per-window utilization,
+    per-resolution assigned TTL, alarm-state transitions. Memory is
+    bounded by construction — at most ``budget`` samples are ever held.
+    While under budget every observation is kept; when the buffer fills
+    it is decimated (every other retained sample dropped, oldest kept)
+    and the keep-stride doubles, so a run 10x longer produces the same
+    budget-sized series at half the resolution. The per-observation cost
+    is one counter increment plus, for kept samples, one list append —
+    cheap enough for the low/medium-frequency decision paths (windows,
+    resolutions, alarms), and deterministic: for a fixed run the
+    retained samples are identical however the run was executed.
+    """
+
+    __slots__ = ("name", "budget", "samples", "observations", "_stride", "_phase")
+
+    def __init__(self, name: str, budget: int = TIMESERIES_BUDGET):
+        if budget < 2:
+            raise ConfigurationError(
+                f"timeseries {name!r} budget must be >= 2, got {budget!r}"
+            )
+        self.name = name
+        self.budget = int(budget)
+        #: Retained ``(time, value)`` pairs, time-ordered.
+        self.samples: List[Tuple[float, float]] = []
+        #: Total observations offered (kept or decimated away).
+        self.observations = 0
+        self._stride = 1
+        self._phase = 0
+
+    def record(self, now: float, value: float) -> None:
+        """Offer one observation; it is kept every ``stride``-th call."""
+        self.observations += 1
+        self._phase += 1
+        if self._phase < self._stride:
+            return
+        self._phase = 0
+        samples = self.samples
+        samples.append((float(now), float(value)))
+        if len(samples) >= self.budget:
+            # Decimate: keep indices 0, 2, 4, ... and double the stride.
+            del samples[1::2]
+            self._stride *= 2
+
+    @property
+    def stride(self) -> int:
+        """Current keep-every-N stride (doubles at each decimation)."""
+        return self._stride
+
+    @property
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent retained ``(time, value)`` pair."""
+        return self.samples[-1] if self.samples else None
+
+    def values(self) -> List[float]:
+        """The retained values, in time order."""
+        return [value for _, value in self.samples]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe summary of the series' state."""
+        return {
+            "kind": "timeseries",
+            "budget": self.budget,
+            "stride": self._stride,
+            "observations": self.observations,
+            "samples": [[now, value] for now, value in self.samples],
+        }
+
+
 class MetricsRegistry:
     """Named instruments plus pull callbacks, snapshotted on demand.
 
@@ -179,6 +253,15 @@ class MetricsRegistry:
         self._instruments[name] = instrument
         return instrument
 
+    def timeseries(
+        self, name: str, budget: int = TIMESERIES_BUDGET
+    ) -> TimeSeries:
+        """Create and register a :class:`TimeSeries`."""
+        self._claim(name)
+        instrument = TimeSeries(name, budget)
+        self._instruments[name] = instrument
+        return instrument
+
     def register(self, name: str, callback: Callable[[], Any]) -> None:
         """Register a zero-argument pull callback under ``name``.
 
@@ -196,7 +279,7 @@ class MetricsRegistry:
         """All current values as a flat, JSON-safe, name-sorted dict."""
         values: Dict[str, Any] = {}
         for name, instrument in self._instruments.items():
-            if isinstance(instrument, TimeWeightedHistogram):
+            if isinstance(instrument, (TimeWeightedHistogram, TimeSeries)):
                 values[name] = instrument.snapshot()
             else:
                 values[name] = instrument.value
@@ -208,7 +291,16 @@ class MetricsRegistry:
         """(name, rendered value) pairs for the reporting layer."""
         rows: List[Tuple[str, str]] = []
         for name, value in self.snapshot().items():
-            if isinstance(value, dict):  # histogram snapshot
+            if isinstance(value, dict) and value.get("kind") == "timeseries":
+                if value["samples"]:
+                    last_time, last_value = value["samples"][-1]
+                    rendered = (
+                        f"n={value['observations']} "
+                        f"last={last_value:.4f}@{last_time:.0f}s"
+                    )
+                else:
+                    rendered = "no observations"
+            elif isinstance(value, dict):  # histogram snapshot
                 rendered = (
                     f"mean={value['mean']:.4f} max={value['max']}"
                     if value["max"] is not None

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -48,17 +49,39 @@ def git_describe(cwd: Optional[PathLike] = None) -> Optional[str]:
     return described if output.returncode == 0 and described else None
 
 
+def environment_fingerprint(
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The execution environment a run happened in.
+
+    Report comparisons (``repro report --compare``) diff this block to
+    flag environment drift between two bundles — a regression measured
+    on a different interpreter, machine or worker count is a different
+    claim than one measured on identical environments.
+    """
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+    }
+
+
 def build_manifest(
     config,
     *,
     extra: Optional[Dict[str, Any]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The provenance manifest for one run of ``config``.
 
     ``config`` is a :class:`~repro.experiments.config.SimulationConfig`
     (any dataclass with ``seed``/``policy`` fields works). ``extra``
     entries are merged under the ``"extra"`` key for caller context
-    (replication index, grid cell, CLI argv, ...).
+    (replication index, grid cell, CLI argv, ...); ``workers`` records
+    the executor worker count in the environment fingerprint.
     """
     from .. import __version__
 
@@ -72,6 +95,7 @@ def build_manifest(
         "package": {"name": "repro", "version": __version__},
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "environment": environment_fingerprint(workers),
         "git_describe": git_describe(),
         "created_at_unix": time.time(),
         "policy": getattr(config, "policy", None),
@@ -88,10 +112,11 @@ def write_manifest(
     path: PathLike,
     *,
     extra: Optional[Dict[str, Any]] = None,
+    workers: Optional[int] = None,
 ) -> pathlib.Path:
     """Build and write a manifest as pretty JSON; returns the path."""
     path = pathlib.Path(path)
-    manifest = build_manifest(config, extra=extra)
+    manifest = build_manifest(config, extra=extra, workers=workers)
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
     return path
 

@@ -52,6 +52,7 @@ class AlarmProtocol:
         self.alarm_signals = 0
         #: Total normal signals sent (transitions out of the alarmed state).
         self.normal_signals = 0
+        self._active_series = None
         if metrics is not None:
             metrics.register("alarm.signals", lambda: self.alarm_signals)
             metrics.register(
@@ -60,6 +61,10 @@ class AlarmProtocol:
             metrics.register(
                 "alarm.currently_alarmed", lambda: sum(self._alarmed)
             )
+            # Timeline of the alarmed-server count, one point per
+            # transition — the paper's alarm/normal signal stream as a
+            # bounded series.
+            self._active_series = metrics.timeseries("alarm.active")
 
     @property
     def alarmed_servers(self) -> List[int]:
@@ -79,6 +84,8 @@ class AlarmProtocol:
             self.alarm_signals += 1
         else:
             self.normal_signals += 1
+        if self._active_series is not None:
+            self._active_series.record(now, sum(self._alarmed))
         if self.tracer.enabled:
             self.tracer.record(
                 now,
@@ -140,9 +147,19 @@ class UtilizationMonitor:
         self.sample_sink = sample_sink
         self.tracer = tracer if tracer is not None else NullTracer()
         self._max_histogram = None
+        self._max_series = None
+        self._server_series = None
         if metrics is not None:
             metrics.register("util.windows", lambda: self.samples_taken)
             self._max_histogram = metrics.histogram("util.max_utilization")
+            # Bounded timelines: the max-utilization signal (the paper's
+            # metric over time) plus one series per server for the
+            # drill-down views. One record per closed window each.
+            self._max_series = metrics.timeseries("util.max")
+            self._server_series = [
+                metrics.timeseries(f"util.server.{server_id}")
+                for server_id in range(len(self.servers))
+            ]
         self.samples_taken = 0
         self.process = env.process(self._run())
 
@@ -160,6 +177,8 @@ class UtilizationMonitor:
         observe = alarm_protocol.observe if alarm_protocol is not None else None
         sample_sink = self.sample_sink
         max_histogram = self._max_histogram
+        max_series = self._max_series
+        server_series = self._server_series
         while True:
             yield timeout(interval)
             now = env.now
@@ -168,6 +187,10 @@ class UtilizationMonitor:
             peak = max(utilizations)
             if max_histogram is not None:
                 max_histogram.observe(now, peak)
+            if max_series is not None:
+                max_series.record(now, peak)
+                for series, utilization in zip(server_series, utilizations):
+                    series.record(now, utilization)
             if tracing:
                 tracer.record(
                     now,

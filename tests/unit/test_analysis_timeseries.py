@@ -53,6 +53,12 @@ class TestAccessors:
         result = result_with_series([])
         assert server_series(result, 0) == []
 
+    def test_empty_series_for_every_view(self):
+        result = result_with_series([])
+        assert max_series(result) == []
+        assert overload_episodes(result) == []
+        assert fairness_over_time(result) == []
+
 
 class TestOverloadEpisodes:
     def test_contiguous_episode_detected(self):

@@ -155,8 +155,32 @@ class TestExecutionStats:
         assert stats.mean_cell_time == 0.0
         assert stats.max_cell_time == 0.0
 
+    def test_empty_batch_speedup_is_zero_even_with_wall_time(self):
+        # An empty batch has nothing to speed up, whatever the clock says.
+        stats = ExecutionStats(workers=4, wall_time=1.0, cell_times=[])
+        assert stats.speedup == 0.0
+
+    def test_zero_wall_time_with_cells_is_infinite_not_zero(self):
+        # Work happened in unmeasurable time: 0.0 would masquerade as
+        # the empty-batch value and read as a slowdown in reports.
+        stats = ExecutionStats(workers=1, wall_time=0.0, cell_times=[0.5])
+        assert stats.speedup == float("inf")
+
     def test_summary_rows_render(self):
         stats = ExecutionStats(workers=2, wall_time=1.0, cell_times=[0.5])
         labels = [label for label, _ in stats.summary_rows()]
         assert "workers" in labels
         assert "speedup vs serial" in labels
+        assert dict(stats.summary_rows())["speedup vs serial"] == "0.50x"
+
+    @pytest.mark.parametrize(
+        "stats",
+        [
+            ExecutionStats(workers=1, wall_time=0.0, cell_times=[0.5]),
+            ExecutionStats(workers=1, wall_time=1.0, cell_times=[]),
+            ExecutionStats(workers=1, wall_time=0.0, cell_times=[]),
+        ],
+    )
+    def test_summary_rows_render_na_for_degenerate_speedup(self, stats):
+        rows = dict(stats.summary_rows())
+        assert rows["speedup vs serial"] == "n/a"

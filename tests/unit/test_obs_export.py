@@ -9,13 +9,18 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.persistence import config_from_dict
 from repro.obs import (
     MANIFEST_KIND,
+    MetricsRegistry,
     build_manifest,
     category_counts,
+    environment_fingerprint,
+    metrics_to_prom_text,
     read_manifest,
     read_trace_jsonl,
     record_from_dict,
     record_to_dict,
+    salvage_trace_jsonl,
     write_manifest,
+    write_metrics_prom,
     write_trace_jsonl,
 )
 from repro.sim.tracing import TraceRecord
@@ -58,6 +63,98 @@ class TestJsonlRoundTrip:
         assert category_counts(RECORDS) == {"alarm": 1, "dns": 2}
 
 
+class TestSalvage:
+    def _truncated_trace(self, tmp_path):
+        """A trace whose final record was cut mid-JSON (crashed run)."""
+        path = write_trace_jsonl(RECORDS, tmp_path / "t.jsonl")
+        text = path.read_text()
+        lines = text.splitlines(keepends=True)
+        intact = "".join(lines[:-1])
+        path.write_text(intact + lines[-1][: len(lines[-1]) // 2])
+        return path, intact
+
+    def test_non_strict_returns_complete_records(self, tmp_path):
+        path, _ = self._truncated_trace(tmp_path)
+        records = read_trace_jsonl(path, strict=False)
+        assert records == RECORDS[:-1]
+
+    def test_strict_default_still_raises(self, tmp_path):
+        path, _ = self._truncated_trace(tmp_path)
+        with pytest.raises(ConfigurationError, match="t.jsonl:3"):
+            read_trace_jsonl(path)
+
+    def test_damage_reports_byte_offset_of_first_bad_line(self, tmp_path):
+        path, intact = self._truncated_trace(tmp_path)
+        records, damage = salvage_trace_jsonl(path)
+        assert records == RECORDS[:-1]
+        assert damage is not None
+        assert damage.line_number == 3
+        # The offset is where the intact prefix ends — truncating the
+        # file there yields a fully valid JSONL file again.
+        assert damage.byte_offset == len(intact.encode("utf-8"))
+        assert "line 3" in str(damage)
+
+    def test_malformed_record_damage(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"time": 1.0, "category": "dns", "payload": null}\n'
+            '{"category": "dns"}\n'
+        )
+        records, damage = salvage_trace_jsonl(path)
+        assert len(records) == 1
+        assert damage.line_number == 2
+
+    def test_intact_file_has_no_damage(self, tmp_path):
+        path = write_trace_jsonl(RECORDS, tmp_path / "t.jsonl")
+        records, damage = salvage_trace_jsonl(path)
+        assert records == RECORDS
+        assert damage is None
+
+
+class TestPromExport:
+    def _metrics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("dns.resolutions")
+        counter.inc(7)
+        histogram = registry.histogram("util.max_utilization")
+        histogram.observe(0.0, 0.4)
+        histogram.observe(8.0, 0.95)
+        series = registry.timeseries("dns.assigned_ttl")
+        series.record(10.0, 240.0)
+        series.record(20.0, 120.0)
+        registry.register("note", lambda: "text")
+        return registry.snapshot()
+
+    def test_scalars_and_counter(self):
+        text = metrics_to_prom_text(self._metrics())
+        assert "repro_dns_resolutions 7" in text
+
+    def test_timeseries_exports_last_value_and_count(self):
+        text = metrics_to_prom_text(self._metrics())
+        assert "# TYPE repro_dns_assigned_ttl gauge" in text
+        assert "repro_dns_assigned_ttl 120.0" in text
+        assert "repro_dns_assigned_ttl_observations 2" in text
+
+    def test_histogram_buckets_are_cumulative(self, tmp_path):
+        text = metrics_to_prom_text(self._metrics())
+        assert 'repro_util_max_utilization_seconds_bucket{le="0.5"} 0' in text
+        assert (
+            'repro_util_max_utilization_seconds_bucket{le="+Inf"} 8.0'
+            in text
+        )
+        assert "repro_util_max_utilization_count 2" in text
+
+    def test_non_numeric_values_skipped_not_fatal(self):
+        text = metrics_to_prom_text(self._metrics())
+        assert "# skipped repro_note" in text
+
+    def test_write_and_prefix(self, tmp_path):
+        path = write_metrics_prom(
+            {"a.b": 1}, tmp_path / "m.prom", prefix="sim"
+        )
+        assert path.read_text() == "sim_a_b 1\n"
+
+
 class TestManifest:
     def test_build_manifest_fields(self):
         config = SimulationConfig(policy="RR", seed=9, duration=600.0)
@@ -91,3 +188,21 @@ class TestManifest:
     def test_non_dataclass_config_rejected(self):
         with pytest.raises(ConfigurationError):
             build_manifest({"policy": "RR"})
+
+    def test_environment_fingerprint_fields(self):
+        fingerprint = environment_fingerprint(workers=4)
+        assert set(fingerprint) == {
+            "python", "implementation", "platform", "machine",
+            "cpu_count", "workers",
+        }
+        assert fingerprint["workers"] == 4
+        assert environment_fingerprint()["workers"] is None
+
+    def test_manifest_carries_environment(self, tmp_path):
+        config = SimulationConfig(policy="RR", seed=1, duration=300.0)
+        path = write_manifest(config, tmp_path / "m.json", workers=2)
+        manifest = read_manifest(path)
+        environment = manifest["environment"]
+        assert environment["workers"] == 2
+        assert environment["python"] == manifest["python"]
+        assert environment["platform"] == manifest["platform"]

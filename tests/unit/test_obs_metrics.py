@@ -4,9 +4,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.obs import (
+    TIMESERIES_BUDGET,
     Counter,
     Gauge,
     MetricsRegistry,
+    TimeSeries,
     TimeWeightedHistogram,
     UTILIZATION_BINS,
 )
@@ -96,6 +98,68 @@ class TestTimeWeightedHistogram:
         )
 
 
+class TestTimeSeries:
+    def test_under_budget_keeps_everything(self):
+        series = TimeSeries("s", budget=8)
+        for i in range(5):
+            series.record(float(i), i * 0.1)
+        assert series.samples == [(float(i), i * 0.1) for i in range(5)]
+        assert series.stride == 1
+        assert series.observations == 5
+        assert series.last == (4.0, pytest.approx(0.4))
+
+    def test_decimation_halves_and_doubles_stride(self):
+        series = TimeSeries("s", budget=8)
+        for i in range(8):
+            series.record(float(i), float(i))
+        # Budget hit once: every other sample dropped, stride doubled.
+        assert series.stride == 2
+        assert [t for t, _ in series.samples] == [0.0, 2.0, 4.0, 6.0]
+        assert series.observations == 8
+
+    def test_memory_bounded_for_any_run_length(self):
+        budget = 32
+        short = TimeSeries("s", budget=budget)
+        long = TimeSeries("l", budget=budget)
+        for i in range(1_000):
+            short.record(float(i), 0.5)
+        for i in range(10_000):  # a 10x longer run
+            long.record(float(i), 0.5)
+        assert len(short.samples) < budget
+        assert len(long.samples) < budget
+        assert long.observations == 10_000
+
+    def test_oldest_sample_always_survives(self):
+        series = TimeSeries("s", budget=4)
+        series.record(1.5, 0.9)
+        for i in range(500):
+            series.record(10.0 + i, 0.1)
+        assert series.samples[0] == (1.5, 0.9)
+
+    def test_budget_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeries("s", budget=1)
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        series = TimeSeries("s", budget=4)
+        series.record(1.0, 0.25)
+        snap = series.snapshot()
+        json.dumps(snap)
+        assert snap["kind"] == "timeseries"
+        assert snap["samples"] == [[1.0, 0.25]]
+        assert snap["budget"] == 4
+        assert snap["observations"] == 1
+
+    def test_values_in_time_order(self):
+        series = TimeSeries("s")
+        series.record(1.0, 0.1)
+        series.record(2.0, 0.2)
+        assert series.values() == [0.1, 0.2]
+        assert series.budget == TIMESERIES_BUDGET
+
+
 class TestMetricsRegistry:
     def test_instruments_appear_in_snapshot(self):
         registry = MetricsRegistry()
@@ -155,3 +219,19 @@ class TestMetricsRegistry:
         assert rows["a.count"] == "3"
         assert rows["b.gauge"] == "0.5000"
         assert rows["c.hist"] == "no observations"
+
+    def test_timeseries_registers_and_snapshots(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("util.max", budget=4)
+        series.record(8.0, 0.75)
+        snap = registry.snapshot()
+        assert snap["util.max"]["kind"] == "timeseries"
+        with pytest.raises(ConfigurationError):
+            registry.timeseries("util.max")
+        rows = dict(registry.summary_rows())
+        assert rows["util.max"] == "n=1 last=0.7500@8s"
+        empty = registry.timeseries("util.empty")
+        assert dict(registry.summary_rows())["util.empty"] == (
+            "no observations"
+        )
+        assert empty.last is None
