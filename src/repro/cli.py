@@ -6,7 +6,16 @@ Subcommands
     Run one simulation and print its summary (``--sparkline`` adds a
     max-utilization timeline and overload episodes; ``--trace CATS``
     records the selected trace categories and prints the per-category
-    record counts plus the metrics-registry block).
+    record counts plus the metrics-registry block). With
+    ``--checkpoint-dir DIR --checkpoint-every T`` the run snapshots its
+    full model state into DIR every T simulated seconds and writes its
+    artifact bundle there; ``--halt-at SIMTIME`` simulates a crash at a
+    checkpoint boundary (exit code 3).
+``resume``
+    Resume an interrupted checkpointed run: replay deterministically to
+    the last snapshot, verify its state digest bit-for-bit, continue to
+    completion. The finished bundle is bit-identical to what the
+    uninterrupted run would have written (see ``docs/CHECKPOINTING.md``).
 ``trace``
     Run one traced simulation and write its full observability bundle —
     result JSON, JSONL trace, provenance manifest — into a directory;
@@ -48,6 +57,13 @@ progress line: completed/total cells, throughput, ETA, busy workers)
 and ``--progress-log PATH`` (a machine-readable JSONL heartbeat log);
 both observe the run without perturbing it — results are identical
 with or without them. See ``docs/OBSERVABILITY.md``.
+
+They also accept ``--checkpoint-dir DIR --checkpoint-every T``: each
+cell checkpoints into its own ``cell-NNNN/`` subdirectory, and rerunning
+the same command over the same DIR reloads finished cells and resumes
+interrupted ones from their last digest-verified snapshot — so a killed
+grid restarts from where it was instead of from zero, with bit-identical
+outputs. See ``docs/CHECKPOINTING.md``.
 """
 
 from __future__ import annotations
@@ -142,6 +158,50 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         help="append per-cell started/finished heartbeats to PATH as "
         "JSONL (tail-able while the batch runs)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write periodic checkpoints into DIR (one cell-NNNN/ "
+        "subdirectory per cell for multi-cell commands); rerunning the "
+        "same command over the same DIR reloads finished cells and "
+        "resumes interrupted ones from their last verified snapshot, "
+        "with results bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=0.0, metavar="T",
+        help="checkpoint cadence in simulated seconds (required with "
+        "--checkpoint-dir)",
+    )
+
+
+def _checkpoint_options(
+    args: argparse.Namespace,
+) -> Tuple[Optional[str], float]:
+    """Validated ``(--checkpoint-dir, --checkpoint-every)`` pair."""
+    directory = getattr(args, "checkpoint_dir", None)
+    every = getattr(args, "checkpoint_every", 0.0)
+    if directory is not None and every <= 0:
+        raise SystemExit(
+            "error: --checkpoint-dir requires --checkpoint-every T (> 0 "
+            "simulated seconds)"
+        )
+    if directory is None and every > 0:
+        raise SystemExit(
+            "error: --checkpoint-every requires --checkpoint-dir DIR"
+        )
+    if directory is None and getattr(args, "halt_at", None) is not None:
+        raise SystemExit("error: --halt-at requires --checkpoint-dir DIR")
+    return directory, every
+
+
+def _executor(args: argparse.Namespace, progress, workers=None):
+    """The executor a simulating command asked for, flags applied."""
+    directory, every = _checkpoint_options(args)
+    return ParallelExecutor(
+        workers=getattr(args, "workers", 1) if workers is None else workers,
+        progress=progress,
+        checkpoint_dir=directory,
+        checkpoint_every=every,
+    )
 
 
 def _progress_sink(args: argparse.Namespace):
@@ -230,7 +290,30 @@ def build_parser() -> argparse.ArgumentParser:
         "per-category counts and the metrics block, and --save then also "
         "writes a .trace.jsonl and .manifest.json next to the result",
     )
+    run_parser.add_argument(
+        "--halt-at", type=float, default=None, metavar="SIMTIME",
+        help="simulate a crash: stop (exit code 3) at the first "
+        "checkpoint boundary at or past SIMTIME simulated seconds, "
+        "leaving the checkpoints for 'repro resume' (requires "
+        "--checkpoint-dir)",
+    )
     _add_scenario_arguments(run_parser)
+
+    resume_parser = sub.add_parser(
+        "resume",
+        help="resume an interrupted checkpointed run (replays to the "
+        "last snapshot, verifies its digest bit-for-bit, continues)",
+    )
+    resume_parser.add_argument(
+        "bundle",
+        help="checkpoint directory of the interrupted run (the "
+        "--checkpoint-dir of 'repro run')",
+    )
+    resume_parser.add_argument(
+        "--halt-at", type=float, default=None, metavar="SIMTIME",
+        help="simulate another crash at the first checkpoint boundary "
+        "at or past SIMTIME (exit code 3)",
+    )
 
     trace_parser = sub.add_parser(
         "trace",
@@ -396,7 +479,25 @@ def _run_command(args: argparse.Namespace, progress) -> int:
                 _parse_trace_categories(args.trace) if traced else None
             ),
         )
-        if progress is not None:
+        checkpoint_dir, checkpoint_every = _checkpoint_options(args)
+        if checkpoint_dir is not None:
+            from .experiments.checkpointing import run_with_checkpoints
+
+            result = run_with_checkpoints(
+                config,
+                every=checkpoint_every,
+                directory=checkpoint_dir,
+                halt_at=args.halt_at,
+            )
+            if result is None:
+                print(
+                    f"[halted at the first checkpoint past simulated "
+                    f"t={args.halt_at:g}s; continue with: "
+                    f"repro resume {checkpoint_dir}]"
+                )
+                return 3
+            print(f"[checkpointed bundle written to {checkpoint_dir}]")
+        elif progress is not None:
             executor = ParallelExecutor(workers=1, progress=progress)
             result = executor.run_simulations(
                 [config], labels=[args.policy]
@@ -450,6 +551,27 @@ def _run_command(args: argparse.Namespace, progress) -> int:
                 print("no overload episodes (>= 0.98)")
         return 0
 
+    if args.command == "resume":
+        from .errors import CheckpointError
+        from .experiments.checkpointing import resume_run
+
+        try:
+            result = resume_run(args.bundle, halt_at=args.halt_at)
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if result is None:
+            print(
+                f"[halted again at the first checkpoint past simulated "
+                f"t={args.halt_at:g}s; continue with: "
+                f"repro resume {args.bundle}]"
+            )
+            return 3
+        print(render_result(result))
+        _print_observability(result)
+        print(f"[completed bundle written to {args.bundle}]")
+        return 0
+
     if args.command == "trace":
         from .obs import category_counts, read_trace_jsonl
 
@@ -467,7 +589,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
             trace=True,
             trace_categories=_parse_trace_categories(args.categories),
         )
-        executor = ParallelExecutor(workers=1, progress=progress)
+        executor = _executor(args, progress, workers=1)
         result = executor.run_simulations([config], labels=[args.policy])[0]
         from .experiments.persistence import save_run_artifacts
 
@@ -490,7 +612,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
 
     if args.command == "compare":
         base = _scenario_config(args, args.policy[0])
-        executor = ParallelExecutor(workers=args.workers, progress=progress)
+        executor = _executor(args, progress)
         results = compare_policies(base, args.policy, executor=executor)
         print(render_comparison(results))
         _print_execution(executor.last_stats, labels=list(args.policy))
@@ -519,7 +641,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
         base = _scenario_config(args, args.policy)
         from .experiments.runner import sweep as run_sweep
 
-        executor = ParallelExecutor(workers=args.workers, progress=progress)
+        executor = _executor(args, progress)
         rows = [
             (value, f"{metric:.3f}", f"{result.mean_max_utilization:.3f}")
             for value, metric, result in run_sweep(
@@ -542,9 +664,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
             duration=args.duration,
             seed=args.seed,
             workers=args.workers,
-            executor=ParallelExecutor(
-                workers=args.workers, progress=progress
-            ),
+            executor=_executor(args, progress),
         )
         print(figure_to_csv(figure) if args.csv else render_figure(figure))
         if args.save:
@@ -589,9 +709,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
         grid = run_grid(
             base,
             {row_field: row_values, col_field: col_values},
-            executor=ParallelExecutor(
-                workers=args.workers, progress=progress
-            ),
+            executor=_executor(args, progress),
         )
         print(grid.pivot_table(row_field, col_field))
         _print_execution(

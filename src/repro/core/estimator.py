@@ -64,6 +64,20 @@ class HiddenLoadEstimator:
     def domain_count(self) -> int:
         return len(self.shares())
 
+    def snapshot_state(self) -> dict:
+        """Estimate state for checkpoints; subclasses extend this.
+
+        The base snapshot (current shares + version) already pins every
+        scheduling decision an estimator can influence; stateful
+        subclasses add their internal accumulators so a resume digest
+        also covers *future* estimates.
+        """
+        return {
+            "kind": type(self).__name__,
+            "version": self.version,
+            "shares": self.shares(),
+        }
+
 
 class OracleEstimator(HiddenLoadEstimator):
     """Exact, static domain shares (the paper's baseline assumption)."""
@@ -178,6 +192,12 @@ class MeasuredEstimator(HiddenLoadEstimator):
             yield self.env.timeout(self.interval)
             self._collect_once()
 
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["collections"] = self.collections
+        state["estimate"] = list(self._estimate)
+        return state
+
     def __repr__(self) -> str:
         return (
             f"<MeasuredEstimator K={len(self._estimate)} "
@@ -275,6 +295,13 @@ class SlidingWindowEstimator(HiddenLoadEstimator):
         while True:
             yield self.env.timeout(self.interval)
             self._collect_once()
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["collections"] = self.collections
+        state["window"] = [list(observed) for observed in self._window]
+        state["totals"] = list(self._totals)
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -82,6 +82,13 @@ class SchedulerState:
             return list(range(self.server_count))
         return [i for i, alarmed in enumerate(self._alarmed) if not alarmed]
 
+    def snapshot_state(self) -> dict:
+        """Alarm exclusion set as seen by the schedulers (checkpoints)."""
+        return {
+            "alarmed": list(self._alarmed),
+            "alarmed_count": self._alarmed_count,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<SchedulerState servers={self.server_count} "

@@ -41,6 +41,21 @@ class DnsStats:
         self.per_server[server_id] = self.per_server.get(server_id, 0) + 1
         self.ttl.add(ttl)
 
+    def snapshot_state(self) -> dict:
+        """All counters as JSON-safe data (for checkpoints)."""
+        return {
+            "resolutions": self.resolutions,
+            "per_domain": {
+                str(domain): count
+                for domain, count in sorted(self.per_domain.items())
+            },
+            "per_server": {
+                str(server): count
+                for server, count in sorted(self.per_server.items())
+            },
+            "ttl": self.ttl.snapshot_state(),
+        }
+
 
 class AuthoritativeDns:
     """Authoritative DNS combining a scheduler and a TTL policy.

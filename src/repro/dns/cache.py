@@ -150,6 +150,30 @@ class TtlCache:
         self.stats.expirations += len(stale)
         return len(stale)
 
+    def snapshot_state(self) -> dict:
+        """Cache contents, clock high-water mark and counters (JSON-safe).
+
+        Entries are emitted as ``[repr(key), repr(value), expires_at]``
+        sorted by key repr: values are typically
+        :class:`~repro.dns.records.AddressRecord` dataclasses whose repr
+        is deterministic, and physical (not just live) entries are
+        included — lazy removal is part of the state a resumed run must
+        reproduce exactly (it decides future ``stats.expirations``).
+        """
+        return {
+            "clock": self._clock,
+            "entries": sorted(
+                [repr(key), repr(value), expires_at]
+                for key, (value, expires_at) in self._entries.items()
+            ),
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "expirations": self.stats.expirations,
+                "insertions": self.stats.insertions,
+            },
+        }
+
     def __len__(self) -> int:
         return self.live_count()
 

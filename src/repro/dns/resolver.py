@@ -141,6 +141,27 @@ class ResolutionChain:
             counts[ns.domain_id] = counts.get(ns.domain_id, 0) + ns.overridden_ttls
         return counts
 
+    def snapshot_state(self) -> dict:
+        """Answer counters plus every NS cache's state (for checkpoints).
+
+        NS caches hold the entire "invisible to the DNS" side of the
+        model — entry contents, expiry times and the lazy-removal clock
+        all decide which future resolutions reach the authoritative
+        server, so a resume digest must cover each one exactly.
+        """
+        return {
+            "cache_answers": self.cache_answers,
+            "authoritative_answers": self.authoritative_answers,
+            "nameservers": [
+                {
+                    "domain": ns.domain_id,
+                    "overridden_ttls": ns.overridden_ttls,
+                    "cache": ns.cache.snapshot_state(),
+                }
+                for ns in self.nameservers
+            ],
+        }
+
     def __repr__(self) -> str:
         return (
             f"<ResolutionChain domains={len(self._by_domain)} "

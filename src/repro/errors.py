@@ -57,3 +57,33 @@ class UnknownPolicyError(PolicyError):
 
 class EstimationError(ReproError):
     """The hidden-load estimator was queried in an invalid state."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read or applied."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A resumed run diverged from the state a checkpoint recorded.
+
+    Raised when replaying a run to a checkpoint's cut point does not
+    reproduce the checkpointed state bit-for-bit — the engine, the model
+    code or the configuration changed since the checkpoint was written,
+    so continuing would silently produce a trajectory that is *not* the
+    interrupted run's.
+    """
+
+    def __init__(self, field: str, expected, actual):
+        self.field = field
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"checkpoint mismatch in {field!r}: checkpoint recorded "
+            f"{expected!r} but the replayed run produced {actual!r}"
+        )
+
+    def __reduce__(self):
+        # Same pickling pitfall as UnknownPolicyError: the default
+        # exception reduce replays ``cls(*args)`` with the formatted
+        # message, which is the wrong constructor signature here.
+        return (CheckpointMismatchError, (self.field, self.expected, self.actual))

@@ -1,5 +1,12 @@
 """Experiment harness: configuration, simulation assembly, figures."""
 
+from .checkpointing import (
+    resume_run,
+    run_checkpointed_cell,
+    run_with_checkpoints,
+    take_checkpoint,
+    verify_checkpoint,
+)
 from .config import PAPER_DEFAULTS, PAPER_DURATION, SimulationConfig
 from .executor import ExecutionStats, ParallelExecutor, resolve_workers
 from .figures import (
@@ -88,10 +95,15 @@ __all__ = [
     "render_figure",
     "render_result",
     "resolve_workers",
+    "resume_run",
+    "run_checkpointed_cell",
     "run_grid",
     "run_replications",
     "run_simulation",
+    "run_with_checkpoints",
     "sweep",
+    "take_checkpoint",
+    "verify_checkpoint",
     "validate_run",
     "table1",
     "table2",

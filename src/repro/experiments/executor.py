@@ -32,11 +32,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pathlib
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..errors import ConfigurationError
 from ..obs.progress import FINISHED, STARTED, ProgressEvent, ProgressSink
@@ -46,6 +47,7 @@ from .simulation import run_simulation
 
 T = TypeVar("T")
 R = TypeVar("R")
+PathLike = Union[str, pathlib.Path]
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -200,6 +202,19 @@ class ParallelExecutor:
         are emitted from inside the workers (over a ``multiprocessing``
         manager queue) or inline on the serial path, and never perturb
         cell seeding or results.
+    checkpoint_dir:
+        Optional directory making :meth:`run_simulations` batches
+        *restartable*: each cell checkpoints into its own
+        ``cell-NNNN/`` subdirectory every ``checkpoint_every`` simulated
+        seconds, and a rerun of the same batch over the same directory
+        reloads completed cells, resumes interrupted ones from their
+        last digest-verified snapshot and runs the rest fresh — with
+        results bit-identical to an uninterrupted batch (see
+        :mod:`repro.experiments.checkpointing`). ``None`` (default)
+        changes nothing.
+    checkpoint_every:
+        Checkpoint cadence in simulated seconds; required (> 0) when
+        ``checkpoint_dir`` is set.
 
     After each :meth:`map` / :meth:`run_simulations` call,
     :attr:`last_stats` holds the batch's :class:`ExecutionStats`.
@@ -210,6 +225,8 @@ class ParallelExecutor:
         workers: Optional[int] = 1,
         chunk_size: Optional[int] = None,
         progress: Optional[ProgressSink] = None,
+        checkpoint_dir: Optional[PathLike] = None,
+        checkpoint_every: float = 0.0,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
@@ -218,6 +235,15 @@ class ParallelExecutor:
             )
         self.chunk_size = chunk_size
         self.progress = progress
+        if checkpoint_dir is not None and checkpoint_every <= 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be > 0 when checkpoint_dir is set, "
+                f"got {checkpoint_every!r}"
+            )
+        self.checkpoint_dir = (
+            pathlib.Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = float(checkpoint_every)
         self.last_stats: Optional[ExecutionStats] = None
 
     def _chunks(self, items: List[T]) -> List[List[T]]:
@@ -358,8 +384,27 @@ class ParallelExecutor:
         configs: Sequence[SimulationConfig],
         labels: Optional[Sequence[Optional[str]]] = None,
     ) -> List[SimulationResult]:
-        """Run one simulation per config (the common experiment cell)."""
-        return self.map(run_simulation, configs, labels=labels)
+        """Run one simulation per config (the common experiment cell).
+
+        With :attr:`checkpoint_dir` set, every cell runs under periodic
+        checkpointing in its own ``cell-NNNN/`` subdirectory (numbered
+        in submission order, which is deterministic for a given batch) —
+        completed cells are reloaded and interrupted ones resumed when
+        the same batch is rerun over the same directory.
+        """
+        if self.checkpoint_dir is None:
+            return self.map(run_simulation, configs, labels=labels)
+        from .checkpointing import make_cell_task, run_checkpointed_cell
+
+        tasks = [
+            make_cell_task(
+                config,
+                self.checkpoint_dir / f"cell-{index:04d}",
+                self.checkpoint_every,
+            )
+            for index, config in enumerate(configs)
+        ]
+        return self.map(run_checkpointed_cell, tasks, labels=labels)
 
     def __repr__(self) -> str:
         return (

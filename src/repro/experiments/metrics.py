@@ -66,6 +66,18 @@ class MaxUtilizationCollector:
     def cdf(self) -> EmpiricalCdf:
         return EmpiricalCdf(self.max_samples)
 
+    def snapshot_state(self) -> dict:
+        """Collected samples and per-server accumulators (checkpoints)."""
+        return {
+            "max_samples": list(self.max_samples),
+            "per_server": [
+                stats.snapshot_state() for stats in self.per_server
+            ],
+            "series_length": (
+                len(self.series) if self.series is not None else None
+            ),
+        }
+
 
 @dataclass
 class SimulationResult:

@@ -218,10 +218,64 @@ class Simulation:
                 },
             )
 
+    def advance(self, until: float) -> None:
+        """Advance the clock to ``until`` (at most ``config.duration``).
+
+        Segmenting a run into several ``advance`` calls dispatches the
+        exact same events in the exact same order as one straight
+        ``run(until=duration)`` — the property the checkpointing layer
+        (:mod:`repro.experiments.checkpointing`) is built on and the
+        resume-equivalence tests pin bit-for-bit.
+        """
+        self.env.run(until=min(float(until), self.config.duration))
+
+    def snapshot_state(self) -> dict:
+        """Canonical serializable state of every wired component.
+
+        The composition for checkpoint digests: engine position, RNG
+        substream states, DNS + NS caches, server fluid state, scheduler
+        alarm view, estimator accumulators, monitor/alarm counters,
+        workload census, collector samples and the metrics registry
+        snapshot. Everything here is JSON-safe and deterministic for a
+        given trajectory prefix, so two runs agree on this dict if and
+        only if they are the same run so far.
+        """
+        state = {
+            "engine": {
+                "now": self.env.now,
+                "dispatched": self.env.dispatched,
+            },
+            "rng": self.streams.state_dict(),
+            "scheduler": self.state.snapshot_state(),
+            "estimator": self.estimator.snapshot_state(),
+            "dns": self.dns.stats.snapshot_state(),
+            "resolution_chain": self.resolution_chain.snapshot_state(),
+            "servers": [
+                server.snapshot_state() for server in self.cluster
+            ],
+            "monitor": self.monitor.snapshot_state(),
+            "alarm_protocol": (
+                self.alarm_protocol.snapshot_state()
+                if self.alarm_protocol is not None
+                else None
+            ),
+            "population": self.population.snapshot_state(),
+            "collector": self.collector.snapshot_state(),
+            "metrics": self.metrics.snapshot(),
+            "trace_records": (
+                len(self.tracer) if self.tracer.enabled else None
+            ),
+        }
+        return state
+
     def run(self) -> SimulationResult:
         """Advance the clock to ``config.duration`` and collect results."""
+        self.advance(self.config.duration)
+        return self.collect()
+
+    def collect(self) -> SimulationResult:
+        """Assemble the :class:`SimulationResult` for the current clock."""
         config = self.config
-        self.env.run(until=config.duration)
         now = self.env.now
         measured = max(now - config.warmup, 1e-12)
         total_resolutions = (

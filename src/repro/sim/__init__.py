@@ -12,8 +12,21 @@ package; this subpackage provides an equivalent process-oriented engine:
   workload randomness.
 * :class:`RunningStats`, :class:`TimeWeightedStats`,
   :class:`EmpiricalCdf`, :func:`batch_means_ci` — output analysis.
+* :class:`Checkpoint`, :func:`state_digest`, :func:`canonical_state` —
+  deterministic run snapshots (see :mod:`repro.experiments.checkpointing`
+  for the model-aware driver).
 """
 
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    canonical_state,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    state_digest,
+    write_checkpoint,
+)
 from .distributions import (
     Constant,
     DiscreteUniform,
@@ -56,6 +69,8 @@ from .tracing import NullTracer, TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
     "Constant",
     "Container",
     "DiscreteUniform",
@@ -87,7 +102,13 @@ __all__ = [
     "Uniform",
     "Zipf",
     "batch_means_ci",
+    "canonical_state",
     "derive_seed",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "read_checkpoint",
     "relative_ci_width",
+    "state_digest",
+    "write_checkpoint",
     "zipf_weights",
 ]

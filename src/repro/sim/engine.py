@@ -122,6 +122,18 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none remain."""
         return self._queue[0][0] if self._queue else _INFINITY
 
+    @property
+    def dispatched(self) -> int:
+        """Number of events dispatched so far.
+
+        Derived as *scheduled minus still-queued*: events only ever
+        leave the heap by being dispatched (there is no cancellation
+        path — interrupted timeouts stay queued and are dispatched as
+        no-ops), so this needs no counter on the hot dispatch loop.
+        Checkpoints record it as the exact replay position of a cut.
+        """
+        return self._eid - len(self._queue)
+
     def step(self) -> None:
         """Process the next scheduled event.
 
@@ -146,6 +158,29 @@ class Environment:
             event._callbacks = None
             for callback in callbacks:
                 callback(event)
+
+    def run_events(self, count: int, until: Optional[float] = None) -> int:
+        """Dispatch at most ``count`` events through :meth:`step`.
+
+        Stops early when the queue drains or (with ``until``) when the
+        next event lies beyond ``until`` — the clock is then *not*
+        advanced to ``until``, so a later ``run(until=...)`` continues
+        the exact same trajectory. Returns the number of events
+        dispatched. This is the cut primitive of the checkpoint/resume
+        test harness: ``run_events(n)`` followed by ``run(until=T)``
+        must be bit-identical to ``run(until=T)`` alone, for every n
+        (:meth:`step` is the reference dispatch the inlined ``run`` loop
+        mirrors).
+        """
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count!r}")
+        target = _INFINITY if until is None else float(until)
+        dispatched = 0
+        queue = self._queue
+        while dispatched < count and queue and queue[0][0] <= target:
+            self.step()
+            dispatched += 1
+        return dispatched
 
     def run(self, until: Optional[float] = None) -> None:
         """Run the simulation.

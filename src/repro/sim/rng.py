@@ -16,13 +16,51 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict
+
+from ..errors import CheckpointError
 
 
 def derive_seed(master_seed: int, name: str) -> int:
     """Derive a 64-bit child seed from ``master_seed`` and ``name``."""
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def encode_random_state(state) -> Dict[str, Any]:
+    """A JSON-safe encoding of ``random.Random.getstate()``.
+
+    CPython's Mersenne Twister state is ``(version, (624 words + index),
+    gauss_next)`` and has used version 3 with platform-independent word
+    values since Python 2.6, so the encoding round-trips across
+    interpreters and Python versions (a property the RNG test suite
+    pins). Unknown future versions are rejected rather than guessed at.
+    """
+    version, internal, gauss_next = state
+    if version != 3:
+        raise CheckpointError(
+            f"unsupported random state version {version!r} (expected 3)"
+        )
+    return {
+        "version": version,
+        "words": list(internal),
+        "gauss_next": gauss_next,
+    }
+
+
+def decode_random_state(data: Dict[str, Any]):
+    """Rebuild a ``random.Random.setstate()`` tuple from the encoding."""
+    try:
+        version = data["version"]
+        words = tuple(data["words"])
+        gauss_next = data["gauss_next"]
+    except (TypeError, KeyError) as error:
+        raise CheckpointError(f"malformed random state: {data!r}") from error
+    if version != 3:
+        raise CheckpointError(
+            f"unsupported random state version {version!r} (expected 3)"
+        )
+    return (version, words, gauss_next)
 
 
 class RandomStreams:
@@ -43,6 +81,53 @@ class RandomStreams:
     def spawn(self, name: str) -> "RandomStreams":
         """Return a child factory whose streams are independent of ours."""
         return RandomStreams(derive_seed(self.master_seed, f"spawn:{name}"))
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every materialized stream's state.
+
+        Captures the master seed plus, per named stream, the full
+        Mersenne Twister state — enough to both fingerprint a run's RNG
+        position (checkpoint digests) and to :meth:`restore_state` it
+        exactly. Streams never drawn from are included once created;
+        streams not yet created are absent (creating them later from the
+        restored factory derives the same seed as always).
+        """
+        return {
+            "master_seed": self.master_seed,
+            "streams": {
+                name: encode_random_state(stream.getstate())
+                for name, stream in sorted(self._streams.items())
+            },
+        }
+
+    def restore_state(self, data: Dict[str, object]) -> None:
+        """Restore the exact state captured by :meth:`state_dict`.
+
+        Streams present in ``data`` are (re)created and rewound to the
+        recorded position; materialized streams missing from ``data``
+        are discarded (they did not exist at capture time, and a later
+        ``stream(name)`` call recreates them from the derived seed —
+        spawn order never matters).
+        """
+        master_seed = data.get("master_seed")
+        if master_seed != self.master_seed:
+            raise CheckpointError(
+                f"state was captured under master seed {master_seed!r}, "
+                f"cannot restore into a factory seeded {self.master_seed!r}"
+            )
+        streams: Dict[str, random.Random] = {}
+        for name, encoded in data["streams"].items():
+            stream = random.Random()
+            stream.setstate(decode_random_state(encoded))
+            streams[name] = stream
+        self._streams = streams
+
+    @classmethod
+    def from_state_dict(cls, data: Dict[str, object]) -> "RandomStreams":
+        """A new factory rewound to a :meth:`state_dict` snapshot."""
+        streams = cls(int(data["master_seed"]))
+        streams.restore_state(data)
+        return streams
 
     def __repr__(self) -> str:
         return (

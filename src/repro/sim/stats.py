@@ -73,6 +73,22 @@ class RunningStats:
     def stddev(self) -> float:
         return math.sqrt(self.variance)
 
+    def snapshot_state(self) -> dict:
+        """The full accumulator as JSON-safe data (for checkpoints).
+
+        The infinite pre-first-observation extremes are mapped to
+        ``None``: checkpoint digests reject non-finite floats, and with
+        ``count == 0`` the extremes carry no information anyway.
+        """
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "minimum": None if empty else self.minimum,
+            "maximum": None if empty else self.maximum,
+        }
+
     def __repr__(self) -> str:
         if self.count == 0:
             return "<RunningStats empty>"

@@ -99,6 +99,14 @@ class AlarmProtocol:
         if self.listener is not None:
             self.listener(now, server_id, alarmed)
 
+    def snapshot_state(self) -> dict:
+        """Alarm flags and signal counters (for checkpoints)."""
+        return {
+            "alarmed": list(self._alarmed),
+            "alarm_signals": self.alarm_signals,
+            "normal_signals": self.normal_signals,
+        }
+
 
 class UtilizationMonitor:
     """Periodic sampling process over a set of servers.
@@ -162,6 +170,10 @@ class UtilizationMonitor:
             ]
         self.samples_taken = 0
         self.process = env.process(self._run())
+
+    def snapshot_state(self) -> dict:
+        """Window count (the monitor's only mutable state)."""
+        return {"samples_taken": self.samples_taken}
 
     def _run(self):
         # One wakeup per window for the whole run: bind the

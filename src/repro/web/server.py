@@ -163,6 +163,24 @@ class WebServer:
         drained, self.domain_hits = self.domain_hits, {}
         return drained
 
+    def snapshot_state(self) -> Dict:
+        """Every mutable fluid/accounting field (for checkpoints)."""
+        return {
+            "server_id": self.server_id,
+            "backlog": self._backlog,
+            "last_update": self._last_update,
+            "busy_in_window": self._busy_in_window,
+            "window_start": self._window_start,
+            "hits_in_window": self._hits_in_window,
+            "domain_hits": {
+                str(domain): hits
+                for domain, hits in sorted(self.domain_hits.items())
+            },
+            "total_hits": self.total_hits,
+            "total_pages": self.total_pages,
+            "response_times": self.response_times.snapshot_state(),
+        }
+
     def __repr__(self) -> str:
         return (
             f"<WebServer id={self.server_id} capacity={self.capacity:.4g} "

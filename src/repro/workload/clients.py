@@ -248,6 +248,26 @@ class ClientPopulation:
                 yield timeout(think_sample())
                 now = env.now
 
+    def snapshot_state(self) -> dict:
+        """Workload counters and liveness census (for checkpoints).
+
+        The per-client generator frames themselves cannot be serialized;
+        what *is* captured — every running total plus how many client
+        processes are still alive — changes whenever any client makes
+        progress, so it pins the population's position in the trajectory
+        for the resume digest.
+        """
+        return {
+            "total_clients": self.total_clients,
+            "total_sessions": self.total_sessions,
+            "total_pages": self.total_pages,
+            "total_hits": self.total_hits,
+            "dns_routed_hits": self.dns_routed_hits,
+            "client_cache_hits": self.client_cache_hits,
+            "alive": sum(1 for process in self.processes if process.is_alive),
+            "network_rtt_stats": self.network_rtt_stats.snapshot_state(),
+        }
+
     def __repr__(self) -> str:
         return (
             f"<ClientPopulation clients={self.total_clients} "
