@@ -1,11 +1,17 @@
 """Record engine microbenchmark throughput into ``BENCH_ENGINE.json``.
 
 Times the engine's two hot microbenches (the sole-waiter sleep path and
-process switching) plus one reference ``fig1`` cell, computes events per
-second, and records them in ``BENCH_ENGINE.json`` at the repo root under
-a named entry (``--label baseline`` for the pre-fast-path engine,
-``--label current`` for the working tree). The committed file is the
-performance contract future PRs are measured against.
+process switching) plus one reference ``fig1`` cell in both engine
+modes (``event`` and ``fastforward``), computes events per second, and
+records them in ``BENCH_ENGINE.json`` at the repo root under a named
+entry (``--label baseline`` for the pre-fast-path engine, ``--label
+current`` for the working tree). The committed file is the performance
+contract future PRs are measured against.
+
+The fast-forward speedup is computed from the *same entry's* event and
+fastforward fig1 timings — both measured in one process on one machine
+moments apart — never across entries recorded on different days, so
+machine drift between recordings cannot inflate (or mask) the ratio.
 
 Usage::
 
@@ -22,6 +28,7 @@ and ``docs/PERFORMANCE.md``.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import platform
@@ -70,7 +77,7 @@ def bench_switching() -> float:
     return (SWITCH_PROCESSES * SWITCH_SLEEPS) / (time.perf_counter() - start)
 
 
-def bench_fig1_cell() -> float:
+def bench_fig1_cell(engine_mode: str = "event") -> float:
     """Wall-clock seconds for one reference fig1 cell (lower is better)."""
     from repro.experiments.config import SimulationConfig
     from repro.experiments.simulation import run_simulation
@@ -79,32 +86,67 @@ def bench_fig1_cell() -> float:
         policy="DRR2-TTL/S_K", heterogeneity=20, duration=1800.0, seed=1
     )
     start = time.perf_counter()
-    result = run_simulation(config)
+    result = run_simulation(config, engine_mode=engine_mode)
     elapsed = time.perf_counter() - start
     assert result.total_hits > 0
     return elapsed
 
 
 def best_of(fn, repetitions: int, pick):
-    values = [fn() for _ in range(repetitions)]
+    """Best of ``repetitions`` timings, GC-controlled.
+
+    The collector is disabled during each timed region and a full
+    collect runs between repetitions, so allocation-heavy and
+    allocation-light code paths are measured under the same (quiet)
+    memory conditions instead of whichever GC schedule they happened
+    to trigger.
+    """
+    values = []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repetitions):
+            values.append(fn())
+            gc.enable()
+            gc.collect()
+            gc.disable()
+    finally:
+        gc.enable()
     return pick(values)
 
 
 def measure(repetitions: int) -> dict:
     bench_sleep()  # warm up allocators and code paths
-    return {
+    numbers = {
         "sleep_events_per_sec": round(
             best_of(bench_sleep, repetitions, max), 1
         ),
         "process_switch_events_per_sec": round(
             best_of(bench_switching, repetitions, max), 1
         ),
-        "fig1_cell_seconds": round(
-            best_of(bench_fig1_cell, repetitions, min), 4
-        ),
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%d"),
     }
+    # The two engine modes are interleaved pairwise (event, fastforward,
+    # event, fastforward, ...) rather than measured as two blocks, so
+    # slow machine-speed drift hits both modes alike. The headline
+    # speedup is the MEDIAN of the per-pair ratios: within a pair both
+    # modes see (nearly) the same machine speed, so each ratio is
+    # drift-free, and the median discards pairs where a speed shift
+    # landed between the two runs — unlike best-of-each, which lets one
+    # lucky fast window for either mode skew the quotient.
+    pairs = best_of(
+        lambda: (bench_fig1_cell("event"), bench_fig1_cell("fastforward")),
+        repetitions,
+        list,
+    )
+    event_best = min(pair[0] for pair in pairs)
+    fastforward_best = min(pair[1] for pair in pairs)
+    ratios = sorted(event / fastforward for event, fastforward in pairs)
+    numbers["fig1_cell_seconds"] = round(event_best, 4)
+    numbers["fig1_cell_fastforward_seconds"] = round(fastforward_best, 4)
+    numbers["fastforward_speedup"] = round(ratios[len(ratios) // 2], 2)
+    return numbers
 
 
 def load_results() -> dict:
@@ -168,6 +210,17 @@ def main(argv=None) -> int:
                 base["fig1_cell_seconds"] / cur["fig1_cell_seconds"], 2
             ),
         }
+        if "fig1_cell_fastforward_seconds" in cur:
+            # The fast-forward engine vs this entry's own event-mode
+            # measurement (same session), and vs the recorded baseline.
+            results["speedup"]["fig1_cell_fastforward"] = cur[
+                "fastforward_speedup"
+            ]
+            results["speedup"]["fig1_cell_fastforward_vs_baseline"] = round(
+                base["fig1_cell_seconds"]
+                / cur["fig1_cell_fastforward_seconds"],
+                2,
+            )
     RESULTS_FILE.write_text(json.dumps(results, indent=2) + "\n")
     print(f"recorded entry {args.label!r} in {RESULTS_FILE}")
     return 0

@@ -52,6 +52,15 @@ worker processes; outputs are bit-identical for any value (each cell's
 seed is fixed before submission) and a timing block is printed whenever
 N > 1. See ``docs/PERFORMANCE.md``.
 
+Every simulating command also accepts ``--engine-mode fastforward``:
+the hybrid fluid/event engine (:mod:`repro.sim.fastforward`) that
+batch-advances quiescent client wakes natively. Results, trajectories
+and checkpoint digests are bit-identical to the reference ``event``
+mode — the mode only changes wall-clock time — and ineligible
+configurations fall back to reference event-stepping automatically
+(the fallback reasons land in the provenance manifest). See
+``docs/PERFORMANCE.md``.
+
 Every simulating command also accepts ``--progress`` (a live terminal
 progress line: completed/total cells, throughput, ETA, busy workers)
 and ``--progress-log PATH`` (a machine-readable JSONL heartbeat log);
@@ -149,6 +158,13 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         "serial; results are identical for any value)",
     )
     parser.add_argument(
+        "--engine-mode", choices=("event", "fastforward"), default="event",
+        help="dispatch engine: 'event' (reference) or 'fastforward' "
+        "(hybrid fluid/event batch-advance; bit-identical results, "
+        "faster on eligible configs, automatic per-config fallback "
+        "otherwise)",
+    )
+    parser.add_argument(
         "--progress", action=argparse.BooleanOptionalAction, default=False,
         help="show a live progress line (cells done, cells/s, ETA, busy "
         "workers) on stderr; results are identical either way",
@@ -201,6 +217,7 @@ def _executor(args: argparse.Namespace, progress, workers=None):
         progress=progress,
         checkpoint_dir=directory,
         checkpoint_every=every,
+        engine_mode=getattr(args, "engine_mode", "event"),
     )
 
 
@@ -313,6 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--halt-at", type=float, default=None, metavar="SIMTIME",
         help="simulate another crash at the first checkpoint boundary "
         "at or past SIMTIME (exit code 3)",
+    )
+    resume_parser.add_argument(
+        "--engine-mode", choices=("event", "fastforward"), default=None,
+        help="dispatch engine for the resumed run (default: the mode "
+        "the checkpoint records; requesting a different mode is "
+        "refused by name)",
     )
 
     trace_parser = sub.add_parser(
@@ -488,6 +511,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
                 every=checkpoint_every,
                 directory=checkpoint_dir,
                 halt_at=args.halt_at,
+                engine_mode=args.engine_mode,
             )
             if result is None:
                 print(
@@ -498,12 +522,14 @@ def _run_command(args: argparse.Namespace, progress) -> int:
                 return 3
             print(f"[checkpointed bundle written to {checkpoint_dir}]")
         elif progress is not None:
-            executor = ParallelExecutor(workers=1, progress=progress)
+            executor = ParallelExecutor(
+                workers=1, progress=progress, engine_mode=args.engine_mode
+            )
             result = executor.run_simulations(
                 [config], labels=[args.policy]
             )[0]
         else:
-            result = run_simulation(config)
+            result = run_simulation(config, engine_mode=args.engine_mode)
         if args.report:
             from .analysis import full_report
 
@@ -527,7 +553,9 @@ def _run_command(args: argparse.Namespace, progress) -> int:
                     result.trace, pathlib.Path(f"{base}.trace.jsonl")
                 )
                 manifest_path = write_manifest(
-                    config, pathlib.Path(f"{base}.manifest.json")
+                    config,
+                    pathlib.Path(f"{base}.manifest.json"),
+                    engine_mode=args.engine_mode,
                 )
                 print(f"[trace saved to {trace_path}]")
                 print(f"[manifest saved to {manifest_path}]")
@@ -556,7 +584,11 @@ def _run_command(args: argparse.Namespace, progress) -> int:
         from .experiments.checkpointing import resume_run
 
         try:
-            result = resume_run(args.bundle, halt_at=args.halt_at)
+            result = resume_run(
+                args.bundle,
+                halt_at=args.halt_at,
+                engine_mode=args.engine_mode,
+            )
         except CheckpointError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -602,6 +634,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
                 "wall_time": executor.last_stats.wall_time,
             },
             workers=1,
+            engine_mode=args.engine_mode,
         )
         print(render_result(result))
         _print_observability(result)

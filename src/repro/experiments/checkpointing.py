@@ -86,6 +86,7 @@ def take_checkpoint(
         state=state,
         digest=state_digest(state),
         engine_version=_engine_version(),
+        engine_mode=sim.engine_mode,
     )
 
 
@@ -155,15 +156,20 @@ def _finalize(
 ) -> SimulationResult:
     """Collect the completed run and write its artifact bundle."""
     result = sim.collect()
+    extra = {
+        "checkpoint_every": float(every),
+        "checkpoints_written": len(list_checkpoints(directory)),
+        "resumed": resumed,
+    }
+    engine_info = sim.engine_info
+    if engine_info["fallbacks"]:
+        extra["engine_fallbacks"] = engine_info["fallbacks"]
     save_run_artifacts(
         result,
         directory,
         stem=stem,
-        extra={
-            "checkpoint_every": float(every),
-            "checkpoints_written": len(list_checkpoints(directory)),
-            "resumed": resumed,
-        },
+        extra=extra,
+        engine_mode=engine_info["effective_mode"],
     )
     return result
 
@@ -175,6 +181,7 @@ def run_with_checkpoints(
     directory: PathLike,
     halt_at: Optional[float] = None,
     stem: str = DEFAULT_STEM,
+    engine_mode: str = "event",
 ) -> Optional[SimulationResult]:
     """Run ``config`` with periodic checkpoints into ``directory``.
 
@@ -188,6 +195,11 @@ def run_with_checkpoints(
     ``halt_at`` simulates a crash: the run stops and returns ``None``
     at the first checkpoint boundary at or past that simulated time,
     leaving only the checkpoints behind for :func:`resume_run`.
+
+    ``engine_mode`` selects the dispatch engine. Checkpoint cuts and
+    digests are identical in either mode (that is the fast-forward
+    equivalence guarantee); the mode is recorded in each checkpoint so
+    a resume defaults to it.
     """
     if every <= 0:
         raise CheckpointError(
@@ -195,7 +207,7 @@ def run_with_checkpoints(
         )
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    sim = Simulation(config)
+    sim = Simulation(config, engine_mode=engine_mode)
     completed = _drive(
         sim, directory, float(every), halt_at, start_sequence=1
     )
@@ -209,6 +221,7 @@ def resume_run(
     *,
     halt_at: Optional[float] = None,
     stem: str = DEFAULT_STEM,
+    engine_mode: Optional[str] = None,
 ) -> Optional[SimulationResult]:
     """Resume the interrupted run checkpointed under ``directory``.
 
@@ -220,6 +233,14 @@ def resume_run(
     checkpoint cadence. Returns the completed run's result — bit-equal
     to what the uninterrupted run would have returned — or ``None`` if
     ``halt_at`` interrupted the resumed run again.
+
+    ``engine_mode=None`` (default) resumes in the mode the checkpoint
+    was written under. Requesting a *different* mode explicitly is
+    refused up front with a :class:`~repro.errors.CheckpointMismatchError`
+    naming ``engine_mode`` — not because the trajectories would differ
+    (they are bit-identical), but because a cross-mode resume is almost
+    always an operator mistake, and refusing by name beats letting any
+    real divergence surface later as a digest mystery.
 
     Refuses checkpoints written by a different package version: replay
     equivalence is only guaranteed within one engine build, and a silent
@@ -235,13 +256,19 @@ def resume_run(
             f"checkpoint was written by repro {checkpoint.engine_version}, "
             f"this is repro {version}; re-run instead of resuming"
         )
+    if engine_mode is None:
+        engine_mode = checkpoint.engine_mode
+    elif engine_mode != checkpoint.engine_mode:
+        raise CheckpointMismatchError(
+            "engine_mode", checkpoint.engine_mode, engine_mode
+        )
     recorded_hash = config_digest(checkpoint.config)
     if recorded_hash != checkpoint.config_hash:
         raise CheckpointMismatchError(
             "config_hash", checkpoint.config_hash, recorded_hash
         )
     config = config_from_dict(checkpoint.config)
-    sim = Simulation(config)
+    sim = Simulation(config, engine_mode=engine_mode)
     sim.advance(checkpoint.time)
     verify_checkpoint(sim, checkpoint)
     completed = _drive(
@@ -260,17 +287,26 @@ def resume_run(
 
 # -- parallel-executor integration -------------------------------------------
 
-#: One checkpointed grid cell: ``(config_dict, directory, every)``.
-#: The config travels as its serialized dict so the task tuple pickles
-#: compactly and identically however the worker pool is shaped.
-CellTask = Tuple[Dict[str, Any], str, float]
+#: One checkpointed grid cell:
+#: ``(config_dict, directory, every, engine_mode)``. The config travels
+#: as its serialized dict so the task tuple pickles compactly and
+#: identically however the worker pool is shaped.
+CellTask = Tuple[Dict[str, Any], str, float, str]
 
 
 def make_cell_task(
-    config: SimulationConfig, directory: PathLike, every: float
+    config: SimulationConfig,
+    directory: PathLike,
+    every: float,
+    engine_mode: str = "event",
 ) -> CellTask:
     """Build the picklable task tuple for one checkpointed cell."""
-    return (config_to_dict(config), str(directory), float(every))
+    return (
+        config_to_dict(config),
+        str(directory),
+        float(every),
+        engine_mode,
+    )
 
 
 def run_checkpointed_cell(task: CellTask) -> SimulationResult:
@@ -290,7 +326,12 @@ def run_checkpointed_cell(task: CellTask) -> SimulationResult:
     :class:`~repro.errors.CheckpointMismatchError` instead of silently
     returning the wrong cell's numbers.
     """
-    config_dict, directory, every = task
+    if len(task) == 3:
+        # Task tuples built before the engine_mode slot existed.
+        config_dict, directory, every = task
+        engine_mode = "event"
+    else:
+        config_dict, directory, every, engine_mode = task
     config = config_from_dict(config_dict)
     cell_dir = pathlib.Path(directory)
     result_path = cell_dir / f"{DEFAULT_STEM}.json"
@@ -323,11 +364,14 @@ def run_checkpointed_cell(task: CellTask) -> SimulationResult:
                 config_digest(config_dict),
                 config_digest(checkpoint.config),
             )
-        resumed = resume_run(cell_dir)
+        # The requested mode is passed explicitly: an interrupted cell
+        # resumed under a different --engine-mode refuses by name
+        # (CheckpointMismatchError) instead of silently switching.
+        resumed = resume_run(cell_dir, engine_mode=engine_mode)
         assert resumed is not None  # no halt_at in executor cells
         return resumed
     result = run_with_checkpoints(
-        config, every=every, directory=cell_dir
+        config, every=every, directory=cell_dir, engine_mode=engine_mode
     )
     assert result is not None
     return result

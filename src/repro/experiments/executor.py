@@ -30,6 +30,7 @@ The price of ``workers>1`` is process startup plus pickling each
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import pathlib
@@ -43,7 +44,7 @@ from ..errors import ConfigurationError
 from ..obs.progress import FINISHED, STARTED, ProgressEvent, ProgressSink
 from .config import SimulationConfig
 from .metrics import SimulationResult
-from .simulation import run_simulation
+from .simulation import ENGINE_MODES, run_simulation
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -215,6 +216,13 @@ class ParallelExecutor:
     checkpoint_every:
         Checkpoint cadence in simulated seconds; required (> 0) when
         ``checkpoint_dir`` is set.
+    engine_mode:
+        Dispatch engine for every cell: ``"event"`` (default, the
+        reference per-event engine) or ``"fastforward"`` (the hybrid
+        fluid/event engine of :mod:`repro.sim.fastforward`). Both modes
+        produce bit-identical results — the purity property the
+        executor is built on is mode-independent — so this only changes
+        wall-clock time, never outputs.
 
     After each :meth:`map` / :meth:`run_simulations` call,
     :attr:`last_stats` holds the batch's :class:`ExecutionStats`.
@@ -227,6 +235,7 @@ class ParallelExecutor:
         progress: Optional[ProgressSink] = None,
         checkpoint_dir: Optional[PathLike] = None,
         checkpoint_every: float = 0.0,
+        engine_mode: str = "event",
     ):
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
@@ -244,6 +253,12 @@ class ParallelExecutor:
             pathlib.Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.checkpoint_every = float(checkpoint_every)
+        if engine_mode not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine mode {engine_mode!r}; "
+                f"choose from {ENGINE_MODES}"
+            )
+        self.engine_mode = engine_mode
         self.last_stats: Optional[ExecutionStats] = None
 
     def _chunks(self, items: List[T]) -> List[List[T]]:
@@ -393,7 +408,14 @@ class ParallelExecutor:
         the same batch is rerun over the same directory.
         """
         if self.checkpoint_dir is None:
-            return self.map(run_simulation, configs, labels=labels)
+            cell = run_simulation
+            if self.engine_mode != "event":
+                # functools.partial of a module-level function pickles
+                # into worker processes; a lambda would not.
+                cell = functools.partial(
+                    run_simulation, engine_mode=self.engine_mode
+                )
+            return self.map(cell, configs, labels=labels)
         from .checkpointing import make_cell_task, run_checkpointed_cell
 
         tasks = [
@@ -401,6 +423,7 @@ class ParallelExecutor:
                 config,
                 self.checkpoint_dir / f"cell-{index:04d}",
                 self.checkpoint_every,
+                self.engine_mode,
             )
             for index, config in enumerate(configs)
         ]

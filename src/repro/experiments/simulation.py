@@ -20,8 +20,10 @@ from ..core.registry import build_policy, parse_policy_name
 from ..core.state import SchedulerState
 from ..dns.authoritative import AuthoritativeDns
 from ..dns.resolver import ResolutionChain
+from ..errors import ConfigurationError
 from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Environment
+from ..sim.fastforward import FastForwardEnvironment
 from ..sim.rng import RandomStreams
 from ..sim.tracing import NullTracer, Tracer
 from ..web.monitor import AlarmProtocol, UtilizationMonitor
@@ -31,18 +33,40 @@ from .config import SimulationConfig
 from .metrics import MaxUtilizationCollector, SimulationResult
 
 
+#: Valid engine modes: ``"event"`` is the reference per-event dispatch,
+#: ``"fastforward"`` batch-advances quiescent client wakes natively (see
+#: :mod:`repro.sim.fastforward`) with bit-identical trajectories.
+ENGINE_MODES = ("event", "fastforward")
+
+
 class Simulation:
     """One fully wired simulation (see module docstring).
 
     All components are exposed as attributes after construction so tests
     and notebooks can poke at any layer before/after :meth:`run`.
+
+    ``engine_mode`` selects the dispatch engine — a *run-control*
+    parameter, deliberately not a :class:`SimulationConfig` field: both
+    modes produce bit-identical trajectories, so the mode must not leak
+    into config hashes, checkpoint digests or result comparisons (it is
+    recorded in checkpoints and provenance manifests instead).
     """
 
-    def __init__(self, config: SimulationConfig):
+    def __init__(self, config: SimulationConfig, engine_mode: str = "event"):
+        if engine_mode not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine mode {engine_mode!r}; "
+                f"choose from {ENGINE_MODES}"
+            )
         self.config = config
+        self.engine_mode = engine_mode
         self.spec = parse_policy_name(config.policy)
 
-        self.env = Environment()
+        self.env = (
+            FastForwardEnvironment()
+            if engine_mode == "fastforward"
+            else Environment()
+        )
         self.streams = RandomStreams(config.seed)
         self.tracer = (
             Tracer(config.trace_categories) if config.trace else NullTracer()
@@ -195,6 +219,31 @@ class Simulation:
             metrics=self.metrics,
         )
 
+    @property
+    def engine_info(self) -> dict:
+        """Provenance of the dispatch engine actually in effect.
+
+        Reports the requested mode, the effective mode (fast-forward
+        falls back to reference event-stepping for ineligible
+        configurations), the native fast-client count, and the counted
+        fallback reasons. Kept out of the digested metrics registry so
+        checkpoint digests and ``repro report --compare`` stay
+        mode-agnostic; the provenance manifest records it instead.
+        """
+        info = {
+            "engine_mode": self.engine_mode,
+            "effective_mode": self.engine_mode,
+            "fast_clients": 0,
+            "fallbacks": {},
+        }
+        if isinstance(self.env, FastForwardEnvironment):
+            info["fallbacks"] = dict(self.env.fallback_reasons)
+            if self.population.engine == "fluid":
+                info["fast_clients"] = self.population.total_clients
+            else:
+                info["effective_mode"] = "event"
+        return info
+
     def _domain_weight(self, domain_id: int) -> float:
         """Estimated hidden-load share of ``domain_id`` (trace payloads)."""
         return self.estimator.shares()[domain_id]
@@ -340,6 +389,13 @@ class Simulation:
         )
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Build and run one simulation (the one-call entry point)."""
-    return Simulation(config).run()
+def run_simulation(
+    config: SimulationConfig, engine_mode: str = "event"
+) -> SimulationResult:
+    """Build and run one simulation (the one-call entry point).
+
+    ``engine_mode="fastforward"`` runs the hybrid fluid/event engine
+    (:mod:`repro.sim.fastforward`) — bit-identical results, measurably
+    faster on eligible configurations.
+    """
+    return Simulation(config, engine_mode=engine_mode).run()

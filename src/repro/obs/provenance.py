@@ -74,6 +74,7 @@ def build_manifest(
     *,
     extra: Optional[Dict[str, Any]] = None,
     workers: Optional[int] = None,
+    engine_mode: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The provenance manifest for one run of ``config``.
 
@@ -81,7 +82,12 @@ def build_manifest(
     (any dataclass with ``seed``/``policy`` fields works). ``extra``
     entries are merged under the ``"extra"`` key for caller context
     (replication index, grid cell, CLI argv, ...); ``workers`` records
-    the executor worker count in the environment fingerprint.
+    the executor worker count in the environment fingerprint;
+    ``engine_mode`` records the dispatch engine (``"event"`` /
+    ``"fastforward"``) as a top-level key. The mode lives *outside* the
+    ``environment`` block on purpose: both engines produce bit-identical
+    results, so ``repro report --compare`` (which diffs the environment
+    block) must stay mode-agnostic.
     """
     from .. import __version__
 
@@ -102,6 +108,8 @@ def build_manifest(
         "seed": getattr(config, "seed", None),
         "config": dataclasses.asdict(config),
     }
+    if engine_mode is not None:
+        manifest["engine_mode"] = engine_mode
     if extra:
         manifest["extra"] = dict(extra)
     return manifest
@@ -113,10 +121,13 @@ def write_manifest(
     *,
     extra: Optional[Dict[str, Any]] = None,
     workers: Optional[int] = None,
+    engine_mode: Optional[str] = None,
 ) -> pathlib.Path:
     """Build and write a manifest as pretty JSON; returns the path."""
     path = pathlib.Path(path)
-    manifest = build_manifest(config, extra=extra, workers=workers)
+    manifest = build_manifest(
+        config, extra=extra, workers=workers, engine_mode=engine_mode
+    )
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
     return path
 

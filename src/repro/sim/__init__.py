@@ -15,6 +15,9 @@ package; this subpackage provides an equivalent process-oriented engine:
 * :class:`Checkpoint`, :func:`state_digest`, :func:`canonical_state` —
   deterministic run snapshots (see :mod:`repro.experiments.checkpointing`
   for the model-aware driver).
+* :class:`FastForwardEnvironment`, :class:`FluidTask` — the hybrid
+  fluid/event fast-forward engine mode, bit-identical to the reference
+  engine (see :mod:`repro.sim.fastforward`).
 """
 
 from .checkpoint import (
@@ -45,6 +48,7 @@ from .containers import (
     PriorityResource,
 )
 from .engine import EmptySchedule, Environment
+from .fastforward import FastForwardEnvironment, FluidTask
 from .events import (
     PRIORITY_LOW,
     PRIORITY_NORMAL,
@@ -81,6 +85,8 @@ __all__ = [
     "Environment",
     "Event",
     "Exponential",
+    "FastForwardEnvironment",
+    "FluidTask",
     "Geometric",
     "Interrupt",
     "NullTracer",

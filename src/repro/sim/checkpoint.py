@@ -134,14 +134,24 @@ class Checkpoint:
     engine_version: str
     #: Snapshot layout version.
     format_version: int = CHECKPOINT_FORMAT_VERSION
+    #: Dispatch engine mode the run was started with (``"event"`` or
+    #: ``"fastforward"``). Both modes produce bit-identical state
+    #: digests, so this field is provenance, not digested state: resumes
+    #: default to the recorded mode, and an *explicitly requested*
+    #: different mode is refused by name instead of surfacing as a
+    #: digest mystery. Defaulted for checkpoints written before the
+    #: fast-forward engine existed.
+    engine_mode: str = "event"
 
     def to_dict(self) -> Dict[str, Any]:
+        """The checkpoint as a JSON-ready dict, stamped with ``kind``."""
         data = dataclasses.asdict(self)
         data["kind"] = CHECKPOINT_KIND
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Checkpoint":
+        """Rebuild from :meth:`to_dict` output, refusing foreign layouts."""
         if data.get("kind") != CHECKPOINT_KIND:
             raise CheckpointError(
                 f"not a checkpoint: kind={data.get('kind')!r}"

@@ -139,10 +139,12 @@ class PriorityResource:
 
     @property
     def count(self) -> int:
+        """Number of capacity slots currently held."""
         return self._in_use
 
     @property
     def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
         return len(self._queue)
 
     def request(self, priority: int = 0) -> PriorityRequest:
@@ -218,10 +220,12 @@ class PreemptiveResource:
 
     @property
     def count(self) -> int:
+        """Number of capacity slots currently held."""
         return len(self._holders)
 
     @property
     def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
         return len(self._queue)
 
     def request(self, priority: int = 0):

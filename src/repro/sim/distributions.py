@@ -50,10 +50,12 @@ class Constant(Distribution):
         self.value = float(value)
 
     def sample(self, rng: random.Random) -> float:
+        """Return ``value``; consumes no randomness from ``rng``."""
         return self.value
 
     @property
     def mean(self) -> float:
+        """The constant itself."""
         return self.value
 
     def __repr__(self) -> str:
@@ -69,13 +71,16 @@ class Exponential(Distribution):
         self._mean = float(mean)
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one exponential variate via ``rng.expovariate``."""
         return rng.expovariate(1.0 / self._mean)
 
     def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Zero-arg sampler bound directly to ``rng.expovariate``."""
         return functools.partial(rng.expovariate, 1.0 / self._mean)
 
     @property
     def mean(self) -> float:
+        """The configured mean (reciprocal of the rate)."""
         return self._mean
 
     def __repr__(self) -> str:
@@ -92,13 +97,16 @@ class Uniform(Distribution):
         self.high = float(high)
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one uniform variate via ``rng.uniform``."""
         return rng.uniform(self.low, self.high)
 
     def sampler(self, rng: random.Random) -> Callable[[], float]:
+        """Zero-arg sampler bound directly to ``rng.uniform``."""
         return functools.partial(rng.uniform, self.low, self.high)
 
     @property
     def mean(self) -> float:
+        """Midpoint of ``[low, high]``."""
         return (self.low + self.high) / 2.0
 
     def __repr__(self) -> str:
@@ -119,13 +127,16 @@ class DiscreteUniform(Distribution):
         self.high = int(high)
 
     def sample(self, rng: random.Random) -> int:
+        """Draw one integer via ``rng.randint`` (both bounds inclusive)."""
         return rng.randint(self.low, self.high)
 
     def sampler(self, rng: random.Random) -> Callable[[], int]:
+        """Zero-arg sampler bound directly to ``rng.randint``."""
         return functools.partial(rng.randint, self.low, self.high)
 
     @property
     def mean(self) -> float:
+        """Midpoint of ``{low, ..., high}``."""
         return (self.low + self.high) / 2.0
 
     def __repr__(self) -> str:
@@ -147,6 +158,7 @@ class Geometric(Distribution):
         self._p = 1.0 / self._mean
 
     def sample(self, rng: random.Random) -> int:
+        """Draw one geometric variate (>= 1) by CDF inversion."""
         # Inversion: ceil(log(U) / log(1 - p)) for U in (0, 1).
         if self._p >= 1.0:
             return 1
@@ -157,6 +169,7 @@ class Geometric(Distribution):
 
     @property
     def mean(self) -> float:
+        """The configured mean (``1 / p``)."""
         return self._mean
 
     def __repr__(self) -> str:
@@ -184,11 +197,13 @@ class Empirical(Distribution):
         self._cumulative[-1] = 1.0  # guard against float drift
 
     def sample(self, rng: random.Random):
+        """Draw one value by binary search over the cumulative weights."""
         index = bisect.bisect_right(self._cumulative, rng.random())
         return self.values[min(index, len(self.values) - 1)]
 
     @property
     def mean(self) -> float:
+        """Probability-weighted average of ``values``."""
         return sum(v * p for v, p in zip(self.values, self.probabilities))
 
     def __repr__(self) -> str:
@@ -227,10 +242,12 @@ class Zipf(Distribution):
         return list(self._empirical.probabilities)
 
     def sample(self, rng: random.Random) -> int:
+        """Draw one rank from the underlying :class:`Empirical`."""
         return self._empirical.sample(rng)
 
     @property
     def mean(self) -> float:
+        """Expected rank under the Zipf weights."""
         return self._empirical.mean
 
     def __repr__(self) -> str:

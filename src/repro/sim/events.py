@@ -215,6 +215,7 @@ def timeout_factory(env) -> Callable[..., Timeout]:
     new = Timeout.__new__
 
     def timeout(delay: float, value: Any = None) -> Timeout:
+        """Schedule a :class:`Timeout` firing ``delay`` from now."""
         if not 0.0 <= delay < _INFINITY:
             raise SimulationError(
                 f"timeout delay must be finite and >= 0, got {delay!r}"

@@ -58,6 +58,7 @@ class RunningStats:
 
     @property
     def mean(self) -> float:
+        """Running mean (requires at least one observation)."""
         if self.count == 0:
             raise SimulationError("no observations recorded")
         return self._mean
@@ -71,6 +72,7 @@ class RunningStats:
 
     @property
     def stddev(self) -> float:
+        """Square root of :attr:`variance`."""
         return math.sqrt(self.variance)
 
     def snapshot_state(self) -> dict:
@@ -147,6 +149,7 @@ class EmpiricalCdf:
 
     @property
     def sample_count(self) -> int:
+        """Number of samples backing the CDF."""
         return self._n
 
     def probability_below(self, threshold: float) -> float:

@@ -19,7 +19,9 @@ from typing import List, Optional
 
 from ..dns.resolver import ResolutionChain
 from ..errors import ConfigurationError
+from ..sim.fastforward import FastForwardEnvironment
 from ..sim.rng import RandomStreams
+from .fluid import FluidClient, fluid_fallback_reasons
 from ..sim.stats import RunningStats as _RttStats
 from ..sim.tracing import NullTracer
 from ..web.cluster import ServerCluster
@@ -92,6 +94,7 @@ class ClientPopulation:
         "total_sessions",
         "client_domains",
         "processes",
+        "engine",
     )
 
     def __init__(
@@ -150,10 +153,33 @@ class ClientPopulation:
         self.client_domains: List[int] = []
         for domain_id, count in enumerate(domains.client_counts(total_clients)):
             self.client_domains.extend([domain_id] * count)
-        self.processes = [
-            env.process(self._client(client_id, domain_id))
-            for client_id, domain_id in enumerate(self.client_domains)
-        ]
+        #: ``"fluid"`` when the clients run as native fast-forward
+        #: steppers, ``"event"`` for reference generator processes.
+        self.engine = "event"
+        if isinstance(env, FastForwardEnvironment):
+            reasons = fluid_fallback_reasons(self)
+            if reasons:
+                # Ineligible for the fluid lane: count each reason and
+                # fall back to reference event-stepping (the fast-forward
+                # environment dispatches generators verbatim).
+                for reason in reasons:
+                    env.count_fallback(reason)
+            else:
+                self.engine = "fluid"
+        if self.engine == "fluid":
+            # Same spawn order, same eid consumption (one urgent init
+            # entry per client), same stagger/think/pages/hits draws —
+            # bit-identical to the generator path below.
+            env.register_task_class(FluidClient)
+            self.processes = [
+                FluidClient(env, self, client_id, domain_id)
+                for client_id, domain_id in enumerate(self.client_domains)
+            ]
+        else:
+            self.processes = [
+                env.process(self._client(client_id, domain_id))
+                for client_id, domain_id in enumerate(self.client_domains)
+            ]
 
     @property
     def dns_control_fraction(self) -> float:

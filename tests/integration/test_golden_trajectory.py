@@ -160,6 +160,32 @@ def test_golden_trajectory_bit_identical():
     assert fresh == golden
 
 
+def test_golden_trajectory_fastforward_bit_identical():
+    """The fast-forward engine reproduces the committed fixture.
+
+    The fixture was recorded on the reference engine, so this holds the
+    hybrid fluid/event mode (:mod:`repro.sim.fastforward`) to the same
+    anchor as every other engine fast path: not one bit of trajectory
+    drift. The golden config is fluid-eligible, and the test insists on
+    that — a silent fallback to event-stepping would vacuously pass.
+    """
+    from repro.experiments.simulation import Simulation
+
+    golden = load_golden()
+    sim = Simulation(
+        SimulationConfig(**GOLDEN_CONFIG), engine_mode="fastforward"
+    )
+    fresh = fingerprint_result(sim.run())
+    info = sim.engine_info
+    assert info["effective_mode"] == "fastforward", info
+    assert info["fast_clients"] == GOLDEN_CONFIG["total_clients"], info
+    for key in golden:
+        assert fresh[key] == golden[key], (
+            f"fast-forward trajectory diverged from the fixture in {key!r}"
+        )
+    assert fresh == golden
+
+
 @pytest.mark.resume
 def test_golden_trajectory_survives_midpoint_resume(tmp_path):
     """Crash the golden run at its midpoint; the resumed run must

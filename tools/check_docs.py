@@ -1,0 +1,175 @@
+"""Execute every fenced python snippet in the documentation.
+
+Documentation that drifts from the code is worse than no documentation:
+a reader pastes a snippet, it fails, and their trust in every other page
+evaporates. This tool makes the docs executable: each markdown file's
+```` ```python ```` fences run top-to-bottom in one shared namespace —
+a snippet may use names bound by earlier snippets in the same file,
+exactly as a reader following the page along would — inside a scratch
+working directory, so snippets that save bundles or JSON files stay
+self-contained.
+
+Directives (an HTML comment on the line directly above a fence):
+
+``<!-- check_docs: compile-only -->``
+    Syntax-check the snippet without executing it. For snippets whose
+    faithful parameters are deliberately expensive (multi-hour paper
+    runs) — the import surface and grammar are still pinned.
+``<!-- check_docs: skip -->``
+    Ignore the snippet entirely. Reserved for snippets that cannot run
+    in CI at all (external services); prefer ``compile-only``.
+
+Fences in other languages (``bash``, ``console``, plain) are ignored.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # README + docs/
+    PYTHONPATH=src python tools/check_docs.py docs/TUTORIAL.md
+
+Exit status 0 when every snippet passed, 1 otherwise; each failure
+reports the file, the fence's line number and the snippet's captured
+output before the traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import pathlib
+import sys
+import tempfile
+import time
+import traceback
+from typing import List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: (snippet source, 1-based fence line, directive or None)
+Snippet = Tuple[str, int, Optional[str]]
+
+DIRECTIVE_PREFIX = "<!-- check_docs:"
+
+
+def extract_snippets(text: str) -> List[Snippet]:
+    """Pull ``python`` fenced blocks (with line numbers and directives)."""
+    snippets: List[Snippet] = []
+    lines = text.splitlines()
+    in_fence = False
+    fence_is_python = False
+    fence_start = 0
+    directive: Optional[str] = None
+    body: List[str] = []
+    previous = ""
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_fence:
+            if stripped.startswith("```"):
+                in_fence = True
+                info = stripped[3:].strip().lower()
+                fence_is_python = info == "python"
+                fence_start = number
+                body = []
+                if previous.startswith(DIRECTIVE_PREFIX) and previous.endswith(
+                    "-->"
+                ):
+                    directive = (
+                        previous[len(DIRECTIVE_PREFIX): -len("-->")].strip()
+                    )
+                else:
+                    directive = None
+            elif stripped:
+                previous = stripped
+            continue
+        if stripped.startswith("```"):
+            in_fence = False
+            previous = ""
+            if fence_is_python:
+                snippets.append(("\n".join(body), fence_start, directive))
+            continue
+        body.append(line)
+    return snippets
+
+
+def run_file(path: pathlib.Path) -> List[str]:
+    """Execute ``path``'s snippets; return a list of failure reports."""
+    failures: List[str] = []
+    snippets = extract_snippets(path.read_text())
+    if not snippets:
+        print(f"  {path.relative_to(REPO_ROOT)}: no python snippets")
+        return failures
+    namespace = {"__name__": "__docs__"}
+    executed = compiled = 0
+    started = time.perf_counter()
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as scratch:
+        os.chdir(scratch)
+        try:
+            for source, line, directive in snippets:
+                label = f"{path.relative_to(REPO_ROOT)}:{line}"
+                if directive == "skip":
+                    continue
+                try:
+                    code = compile(source, label, "exec")
+                except SyntaxError:
+                    failures.append(
+                        f"{label}: syntax error\n{traceback.format_exc()}"
+                    )
+                    continue
+                compiled += 1
+                if directive == "compile-only":
+                    continue
+                output = io.StringIO()
+                try:
+                    with contextlib.redirect_stdout(output):
+                        exec(code, namespace)
+                except Exception:
+                    failures.append(
+                        f"{label}: raised\n"
+                        f"--- snippet output ---\n{output.getvalue()}"
+                        f"--- traceback ---\n{traceback.format_exc()}"
+                    )
+                else:
+                    executed += 1
+        finally:
+            os.chdir(original_cwd)
+    elapsed = time.perf_counter() - started
+    print(
+        f"  {path.relative_to(REPO_ROOT)}: {executed} executed, "
+        f"{compiled - executed - len(failures)} compile-only, "
+        f"{len(failures)} failed ({elapsed:.1f}s)"
+    )
+    return failures
+
+
+def default_files() -> List[pathlib.Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=pathlib.Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = [f.resolve() for f in args.files] or default_files()
+    print(f"checking snippets in {len(files)} file(s)")
+    failures: List[str] = []
+    for path in files:
+        failures.extend(run_file(path))
+    if failures:
+        print(f"\n{len(failures)} snippet(s) FAILED", file=sys.stderr)
+        for report in failures:
+            print(f"\n{report}", file=sys.stderr)
+        return 1
+    print("all documentation snippets pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
