@@ -145,6 +145,42 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         "and network-RTT metrics)",
     )
     parser.add_argument(
+        "--population", choices=("auto", "eager", "lazy"), default="auto",
+        help="client-population implementation: 'eager' (one generator "
+        "process per client), 'lazy' (sharded flat-slot population; "
+        "bounded memory at large scale), or 'auto' (lazy at >= 100k "
+        "clients); all choices are bit-identical",
+    )
+    parser.add_argument(
+        "--workload-source", choices=("synthetic", "trace"),
+        default="synthetic",
+        help="'synthetic' (closed client population, the paper's model) "
+        "or 'trace' (open arrival process replaying a rate schedule)",
+    )
+    parser.add_argument(
+        "--trace-profile", choices=("constant", "ramp", "diurnal", "replay"),
+        default="constant",
+        help="arrival-rate profile of the trace workload source",
+    )
+    parser.add_argument(
+        "--trace-rate", type=float, default=0.0,
+        help="mean session arrival rate in sessions/s (0 = derive the "
+        "rate matching --clients synthetic clients)",
+    )
+    parser.add_argument(
+        "--trace-amplitude", type=float, default=0.5,
+        help="relative rate swing of the ramp/diurnal profiles, in [0, 1]",
+    )
+    parser.add_argument(
+        "--trace-period", type=float, default=3600.0,
+        help="period of the diurnal profile in seconds",
+    )
+    parser.add_argument(
+        "--trace-path", metavar="PATH", default=None,
+        help="JSONL rate-trace file for --trace-profile replay "
+        "(lines: {\"t\": seconds, \"rate\": sessions/s})",
+    )
+    parser.add_argument(
         "--save", metavar="PATH", default=None,
         help="also write the result as JSON to PATH",
     )
@@ -276,6 +312,13 @@ def _scenario_config(
         workload_error=args.error,
         estimator=args.estimator,
         geography=args.geography,
+        population=getattr(args, "population", "auto"),
+        workload_source=getattr(args, "workload_source", "synthetic"),
+        trace_profile=getattr(args, "trace_profile", "constant"),
+        trace_rate=getattr(args, "trace_rate", 0.0),
+        trace_amplitude=getattr(args, "trace_amplitude", 0.5),
+        trace_period=getattr(args, "trace_period", 3600.0),
+        trace_path=getattr(args, "trace_path", None),
         **extra,
     )
 

@@ -30,7 +30,7 @@ class DynamicallyAccumulatedLoadScheduler(Scheduler):
         self.accumulated: List[float] = [0.0] * state.server_count
 
     def _weight_of(self, domain_id: int) -> float:
-        return self.state.estimator.shares()[domain_id]
+        return self.state.estimator.share(domain_id)
 
     def select(self, domain_id: int, now: float) -> int:
         weight = self._weight_of(domain_id)

@@ -29,8 +29,9 @@ Two estimators are provided:
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, Iterable, List, Optional, Sequence
 
 from ..errors import ConfigurationError, EstimationError
 from ..web.server import WebServer
@@ -51,6 +52,18 @@ class HiddenLoadEstimator:
     def shares(self) -> List[float]:
         """Estimated fraction of total request rate per domain (sums to 1)."""
         raise NotImplementedError
+
+    def share(self, domain_id: int) -> float:
+        """One domain's estimated share.
+
+        Bit-equal to ``shares()[domain_id]`` by contract. The base
+        implementation materializes the full list; subclasses override
+        with O(1) lookups — per-decision call sites (schedulers, TTL
+        policies, trace payloads) must use this instead of indexing
+        ``shares()``, which copies K floats per call and dominates the
+        decision path at large domain counts.
+        """
+        return self.shares()[domain_id]
 
     def relative_weights(self) -> List[float]:
         """Shares normalized so the most popular domain has weight 1."""
@@ -80,10 +93,17 @@ class HiddenLoadEstimator:
 
 
 class OracleEstimator(HiddenLoadEstimator):
-    """Exact, static domain shares (the paper's baseline assumption)."""
+    """Exact, static domain shares (the paper's baseline assumption).
 
-    def __init__(self, shares: Sequence[float]):
-        values = [float(s) for s in shares]
+    Accepts any iterable of shares (a streaming
+    :meth:`DomainSet.iter_shares
+    <repro.workload.domains.DomainSet.iter_shares>` included) and packs
+    them into a flat ``array('d')`` — at 10^6 domains that is one 8 MB
+    buffer instead of a 10^6-element list of boxed floats.
+    """
+
+    def __init__(self, shares: Iterable[float]):
+        values = array("d", (float(s) for s in shares))
         if not values:
             raise ConfigurationError("need at least one domain share")
         if any(s <= 0 for s in values):
@@ -96,6 +116,9 @@ class OracleEstimator(HiddenLoadEstimator):
 
     def shares(self) -> List[float]:
         return list(self._shares)
+
+    def share(self, domain_id: int) -> float:
+        return self._shares[domain_id]
 
     def __repr__(self) -> str:
         return f"<OracleEstimator K={len(self._shares)}>"
@@ -166,6 +189,9 @@ class MeasuredEstimator(HiddenLoadEstimator):
 
     def shares(self) -> List[float]:
         return list(self._estimate)
+
+    def share(self, domain_id: int) -> float:
+        return self._estimate[domain_id]
 
     def _collect_once(self) -> None:
         """Drain all server counters and fold into the EWMA estimate."""
@@ -265,6 +291,7 @@ class SlidingWindowEstimator(HiddenLoadEstimator):
             self._prior = [float(p) / total for p in prior]
         self.version = 0
         self.collections = 0
+        self._norm_cache = None
         self.process = env.process(self._run())
 
     def shares(self) -> List[float]:
@@ -275,6 +302,34 @@ class SlidingWindowEstimator(HiddenLoadEstimator):
         raw = [max(floor, count / window_total) for count in self._totals]
         norm = sum(raw)
         return [value / norm for value in raw]
+
+    def share(self, domain_id: int) -> float:
+        window_total, norm = self._normalizers()
+        if window_total == 0:
+            return self._prior[domain_id]
+        floor = 1e-9
+        return max(floor, self._totals[domain_id] / window_total) / norm
+
+    def _normalizers(self) -> tuple:
+        """Cached ``(window_total, norm)`` of the current version.
+
+        Recomputed once per estimate version — exactly the arithmetic of
+        :meth:`shares` — so :meth:`share` stays O(1) per decision while
+        returning bit-equal values.
+        """
+        cached = self._norm_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        window_total = sum(self._totals)
+        if window_total == 0:
+            norm = 1.0
+        else:
+            floor = 1e-9
+            norm = sum(
+                max(floor, count / window_total) for count in self._totals
+            )
+        self._norm_cache = (self.version, window_total, norm)
+        return window_total, norm
 
     def _collect_once(self) -> None:
         observed = [0] * len(self._totals)

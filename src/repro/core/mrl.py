@@ -65,5 +65,5 @@ class MinimumResidualLoadScheduler(Scheduler):
         self, domain_id: int, server_id: int, ttl: float, now: float
     ) -> None:
         super().notify_assignment(domain_id, server_id, ttl, now)
-        weight = self.state.estimator.shares()[domain_id]
+        weight = self.state.estimator.share(domain_id)
         self._leases[server_id].append((now, now + ttl, weight))

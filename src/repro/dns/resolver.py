@@ -24,6 +24,17 @@ from .authoritative import AuthoritativeDns
 from .nameserver import DEFAULT_NS_TTL, LocalNameServer
 from .records import AddressRecord
 
+#: Domain count at or above which name servers are created on first
+#: resolution instead of eagerly at construction. Below the threshold
+#: the chain is byte-identical to the historical eager implementation
+#: (tests pin ``len(chain.nameservers) == domain_count`` there); above
+#: it, eagerly building 10^6 ``LocalNameServer`` + cache objects would
+#: dominate run memory even though a run only ever touches the domains
+#: its clients actually resolve. Keyed on ``domain_count`` alone — not
+#: on which population implementation drives the run — so checkpoint
+#: digests of a given config agree across populations and engine modes.
+LAZY_NS_THRESHOLD = 100_000
+
 
 class ResolutionChain:
     """Routes client resolutions through per-domain name servers.
@@ -71,26 +82,21 @@ class ResolutionChain:
                 f"got {nameservers_per_domain!r}"
             )
         self.dns = dns
+        self.domain_count = domain_count
         self.nameservers_per_domain = nameservers_per_domain
-        self._by_domain: List[List[LocalNameServer]] = [
-            [
-                LocalNameServer(
-                    domain_id=d,
-                    upstream=dns.resolve,
-                    min_accepted_ttl=min_accepted_ttl,
-                    default_ttl=default_ttl,
-                    override_mode=override_mode,
-                    tracer=tracer,
-                )
-                for _ in range(nameservers_per_domain)
-            ]
-            for d in range(domain_count)
-        ]
-        #: Flat view over every NS (first entry per domain when the set
-        #: size is 1 — the paper's base model and the common test case).
-        self.nameservers: List[LocalNameServer] = [
-            ns for group in self._by_domain for ns in group
-        ]
+        self._min_accepted_ttl = min_accepted_ttl
+        self._default_ttl = default_ttl
+        self._override_mode = override_mode
+        self._tracer = tracer
+        #: Lazily created domains hold their NS group in a dict keyed by
+        #: domain id; eager mode (small K) pre-builds every group.
+        self.lazy_nameservers = domain_count >= LAZY_NS_THRESHOLD
+        if self.lazy_nameservers:
+            self._by_domain: Dict[int, List[LocalNameServer]] = {}
+        else:
+            self._by_domain = {
+                d: self._build_group(d) for d in range(domain_count)
+            }
         #: Resolutions answered from an NS cache.
         self.cache_answers = 0
         #: Resolutions answered by the authoritative DNS.
@@ -105,9 +111,49 @@ class ResolutionChain:
                 lambda: sum(self.ttl_override_counts().values()),
             )
 
+    def _build_group(self, domain_id: int) -> List[LocalNameServer]:
+        """Construct one domain's NS set."""
+        return [
+            LocalNameServer(
+                domain_id=domain_id,
+                upstream=self.dns.resolve,
+                min_accepted_ttl=self._min_accepted_ttl,
+                default_ttl=self._default_ttl,
+                override_mode=self._override_mode,
+                tracer=self._tracer,
+            )
+            for _ in range(self.nameservers_per_domain)
+        ]
+
+    @property
+    def nameservers(self) -> List[LocalNameServer]:
+        """Flat view over every *materialized* NS, ordered by domain.
+
+        Eager mode (small K): every domain's set, exactly as the
+        historical attribute. Lazy mode: only domains that have resolved
+        at least once — untouched domains have empty caches and zero
+        override counts, so aggregate statistics are unaffected.
+        """
+        by_domain = self._by_domain
+        if self.lazy_nameservers:
+            return [
+                ns for d in sorted(by_domain) for ns in by_domain[d]
+            ]
+        return [ns for group in by_domain.values() for ns in group]
+
     def nameserver_for(self, domain_id: int, client_id: int = 0) -> LocalNameServer:
-        """The NS a given client of ``domain_id`` is configured to use."""
-        group = self._by_domain[domain_id]
+        """The NS a given client of ``domain_id`` is configured to use.
+
+        In lazy mode the domain's NS set is created on first use.
+        """
+        group = self._by_domain.get(domain_id)
+        if group is None:
+            if not 0 <= domain_id < self.domain_count:
+                raise IndexError(
+                    f"domain_id {domain_id!r} out of range "
+                    f"[0, {self.domain_count})"
+                )
+            group = self._by_domain[domain_id] = self._build_group(domain_id)
         return group[client_id % len(group)]
 
     def resolve(
@@ -164,7 +210,7 @@ class ResolutionChain:
 
     def __repr__(self) -> str:
         return (
-            f"<ResolutionChain domains={len(self._by_domain)} "
+            f"<ResolutionChain domains={self.domain_count} "
             f"ns_per_domain={self.nameservers_per_domain} "
             f"cache={self.cache_answers} authoritative={self.authoritative_answers}>"
         )

@@ -164,6 +164,7 @@ def _finalize(
     engine_info = sim.engine_info
     if engine_info["fallbacks"]:
         extra["engine_fallbacks"] = engine_info["fallbacks"]
+    extra["workload"] = sim.workload_info
     save_run_artifacts(
         result,
         directory,

@@ -28,13 +28,32 @@ from ..web.cluster import (
     HETEROGENEITY_LEVELS,
     ServerCluster,
 )
-from ..workload.domains import DomainSet
+from ..workload.domains import LAZY_DOMAIN_THRESHOLD, DomainSet, LazyDomainSet
 from ..workload.sessions import SessionModel
+from ..workload.shards import DEFAULT_SHARD_SIZE
+from ..workload.trace import ArrivalSchedule
 
 #: Table 1 — default simulated duration: five hours of site activity.
 PAPER_DURATION = 5 * 3600.0
 
 ESTIMATOR_KINDS = ("oracle", "measured", "window")
+
+#: Client-population implementations. ``"eager"`` spawns one generator
+#: process per client (the historical model); ``"lazy"`` is the sharded
+#: flat-slot population (:mod:`repro.workload.shards`) — bit-identical
+#: trajectories, bounded memory; ``"auto"`` picks lazy at or above
+#: :data:`LAZY_POPULATION_THRESHOLD` clients.
+POPULATION_KINDS = ("auto", "eager", "lazy")
+
+#: ``"auto"`` switches to the lazy population at this client count.
+LAZY_POPULATION_THRESHOLD = 100_000
+
+#: Workload sources: the closed synthetic population or the open
+#: trace-driven arrival process (:mod:`repro.workload.trace`).
+WORKLOAD_SOURCES = ("synthetic", "trace")
+
+#: Arrival-rate profiles of the trace-driven source.
+TRACE_PROFILES = ("constant", "ramp", "diurnal", "replay")
 
 
 @dataclass(frozen=True)
@@ -84,6 +103,28 @@ class SimulationConfig:
     #: TTL is valid (extension; the paper's base model resolves once per
     #: session through the domain NS only).
     client_address_caching: bool = False
+    #: Client-population implementation: ``"auto"``, ``"eager"`` or
+    #: ``"lazy"`` (see :data:`POPULATION_KINDS`). All choices produce
+    #: bit-identical trajectories; this only selects the data layout.
+    population: str = "auto"
+    #: ``"synthetic"`` (closed population, the paper's model) or
+    #: ``"trace"`` (open arrival process replaying a rate schedule).
+    workload_source: str = "synthetic"
+    #: Arrival-rate profile of the trace source (see
+    #: :data:`TRACE_PROFILES`).
+    trace_profile: str = "constant"
+    #: Mean session arrival rate in sessions/second; 0 derives the rate
+    #: that offers the same load as ``total_clients`` synthetic clients.
+    trace_rate: float = 0.0
+    #: Relative rate swing of the ramp/diurnal profiles, in [0, 1].
+    trace_amplitude: float = 0.5
+    #: Period of the diurnal profile in seconds.
+    trace_period: float = 3600.0
+    #: JSONL rate-trace path (required by the ``"replay"`` profile).
+    trace_path: Optional[str] = None
+    #: Clients per accounting shard of the lazy population (and target
+    #: concurrent sessions per arrival shard of the trace source).
+    shard_size: int = DEFAULT_SHARD_SIZE
 
     # -- control loop -------------------------------------------------------
     #: Period of server utilization self-measurement (seconds). The scan
@@ -206,6 +247,40 @@ class SimulationConfig:
                 )
         if self.hits_per_page[0] < 1 or self.hits_per_page[1] < self.hits_per_page[0]:
             raise ConfigurationError(f"bad hits_per_page {self.hits_per_page!r}")
+        if self.population not in POPULATION_KINDS:
+            raise ConfigurationError(
+                f"population must be one of {POPULATION_KINDS}, "
+                f"got {self.population!r}"
+            )
+        if self.workload_source not in WORKLOAD_SOURCES:
+            raise ConfigurationError(
+                f"workload_source must be one of {WORKLOAD_SOURCES}, "
+                f"got {self.workload_source!r}"
+            )
+        if self.trace_profile not in TRACE_PROFILES:
+            raise ConfigurationError(
+                f"trace_profile must be one of {TRACE_PROFILES}, "
+                f"got {self.trace_profile!r}"
+            )
+        if self.trace_rate < 0:
+            raise ConfigurationError("trace_rate must be >= 0")
+        if not 0.0 <= self.trace_amplitude <= 1.0:
+            raise ConfigurationError("trace_amplitude must be in [0, 1]")
+        if self.trace_period <= 0:
+            raise ConfigurationError("trace_period must be > 0")
+        if self.shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1")
+        if self.workload_source == "trace":
+            if self.trace_profile == "replay" and not self.trace_path:
+                raise ConfigurationError(
+                    "trace_profile='replay' requires trace_path"
+                )
+            if self.client_address_caching:
+                raise ConfigurationError(
+                    "client_address_caching requires the synthetic "
+                    "workload source (trace sessions are fresh client "
+                    "identities with nothing to cache)"
+                )
         if self.trace_categories is not None:
             # Normalize (JSON round-trips lists) and validate.
             categories = tuple(self.trace_categories)
@@ -232,10 +307,65 @@ class SimulationConfig:
         )
 
     def build_domains(self) -> DomainSet:
-        """The *nominal* (unperturbed) domain popularity."""
+        """The *nominal* (unperturbed) domain popularity.
+
+        At or above :data:`~repro.workload.domains.LAZY_DOMAIN_THRESHOLD`
+        domains the streaming representation is used — share-for-share
+        bit-identical to the materialized one, without the K-element
+        hot-path lists (keyed on ``domain_count`` alone, so the switch
+        can never make two runs of one config diverge).
+        """
+        factory = (
+            LazyDomainSet
+            if self.domain_count >= LAZY_DOMAIN_THRESHOLD
+            else DomainSet
+        )
         if self.uniform_domains:
-            return DomainSet.uniform(self.domain_count)
-        return DomainSet.pure_zipf(self.domain_count, self.zipf_exponent)
+            return factory.uniform(self.domain_count)
+        return factory.pure_zipf(self.domain_count, self.zipf_exponent)
+
+    def effective_population(self) -> str:
+        """Resolve the ``population`` field (``"auto"`` included)."""
+        if self.population != "auto":
+            return self.population
+        return (
+            "lazy"
+            if self.total_clients >= LAZY_POPULATION_THRESHOLD
+            else "eager"
+        )
+
+    @property
+    def derived_trace_rate(self) -> float:
+        """Session arrival rate of the trace source (sessions/second).
+
+        ``trace_rate`` when set; otherwise the rate at which
+        ``total_clients`` synthetic clients complete sessions — one
+        session per client per ``mean_pages x mean_think`` seconds — so
+        the open workload offers the closed population's load.
+        """
+        if self.trace_rate > 0:
+            return self.trace_rate
+        return self.total_clients / (
+            self.mean_pages_per_session * self.mean_think_time
+        )
+
+    def build_arrival_schedule(self) -> ArrivalSchedule:
+        """The arrival-rate schedule of the trace-driven source."""
+        rate = self.derived_trace_rate
+        profile = self.trace_profile
+        if profile == "constant":
+            return ArrivalSchedule.constant(rate)
+        if profile == "ramp":
+            return ArrivalSchedule.ramp(
+                rate * (1.0 - self.trace_amplitude),
+                rate * (1.0 + self.trace_amplitude),
+                self.duration,
+            )
+        if profile == "diurnal":
+            return ArrivalSchedule.diurnal(
+                rate, self.trace_amplitude, self.trace_period
+            )
+        return ArrivalSchedule.from_jsonl(self.trace_path)
 
     def build_session_model(self) -> SessionModel:
         """Session/page/think-time distributions for this config."""

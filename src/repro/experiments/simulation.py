@@ -29,6 +29,8 @@ from ..sim.tracing import NullTracer, Tracer
 from ..web.monitor import AlarmProtocol, UtilizationMonitor
 from ..workload.clients import ClientPopulation
 from ..workload.dynamics import RotatingHotDomains
+from ..workload.shards import ShardedClientPopulation
+from ..workload.trace import TraceDrivenPopulation
 from .config import SimulationConfig
 from .metrics import MaxUtilizationCollector, SimulationResult
 
@@ -94,7 +96,9 @@ class Simulation:
         if config.estimator == "oracle":
             # The oracle reflects the *nominal* shares: under perturbation
             # the DNS estimates stay stale, exactly as in the paper.
-            self.estimator = OracleEstimator(nominal.shares)
+            # Streamed in (and packed into a flat array) so a million-
+            # domain share vector never exists as a Python list.
+            self.estimator = OracleEstimator(nominal.iter_shares())
         elif config.estimator == "measured":
             self.estimator = MeasuredEstimator(
                 self.env,
@@ -204,20 +208,53 @@ class Simulation:
             )
         else:
             dynamics = None
-        self.population = ClientPopulation(
-            self.env,
-            self.cluster,
-            self.resolution_chain,
-            actual,
-            config.build_session_model(),
-            config.total_clients,
-            self.streams,
-            tracer=self.tracer,
-            dynamics=dynamics,
-            client_address_caching=config.client_address_caching,
-            layout=self.layout,
-            metrics=self.metrics,
-        )
+        if config.workload_source == "trace":
+            self.population = TraceDrivenPopulation(
+                self.env,
+                self.cluster,
+                self.resolution_chain,
+                actual,
+                config.build_session_model(),
+                config.build_arrival_schedule(),
+                self.streams,
+                total_clients=config.total_clients,
+                tracer=self.tracer,
+                dynamics=dynamics,
+                layout=self.layout,
+                metrics=self.metrics,
+                shard_size=config.shard_size,
+            )
+        elif config.effective_population() == "lazy":
+            self.population = ShardedClientPopulation(
+                self.env,
+                self.cluster,
+                self.resolution_chain,
+                actual,
+                config.build_session_model(),
+                config.total_clients,
+                self.streams,
+                tracer=self.tracer,
+                dynamics=dynamics,
+                client_address_caching=config.client_address_caching,
+                layout=self.layout,
+                metrics=self.metrics,
+                shard_size=config.shard_size,
+            )
+        else:
+            self.population = ClientPopulation(
+                self.env,
+                self.cluster,
+                self.resolution_chain,
+                actual,
+                config.build_session_model(),
+                config.total_clients,
+                self.streams,
+                tracer=self.tracer,
+                dynamics=dynamics,
+                client_address_caching=config.client_address_caching,
+                layout=self.layout,
+                metrics=self.metrics,
+            )
 
     @property
     def engine_info(self) -> dict:
@@ -244,9 +281,29 @@ class Simulation:
                 info["effective_mode"] = "event"
         return info
 
+    @property
+    def workload_info(self) -> dict:
+        """Provenance of the workload implementation actually in effect.
+
+        Names the population class, the workload source, and — for the
+        sharded/trace implementations — their shard accounting. Like
+        :attr:`engine_info`, deliberately outside the digested metrics
+        registry: all populations of one config are bit-identical (or,
+        for the trace source, a different config), so the choice must
+        not leak into digests or result comparisons.
+        """
+        info = {
+            "source": self.config.workload_source,
+            "population": type(self.population).__name__,
+        }
+        shard_stats = getattr(self.population, "shard_stats", None)
+        if shard_stats is not None:
+            info["shards"] = shard_stats()
+        return info
+
     def _domain_weight(self, domain_id: int) -> float:
         """Estimated hidden-load share of ``domain_id`` (trace payloads)."""
-        return self.estimator.shares()[domain_id]
+        return self.estimator.share(domain_id)
 
     def _on_alarm(self, now: float, server_id: int, alarmed: bool) -> None:
         """Forward alarm transitions into the scheduler state.

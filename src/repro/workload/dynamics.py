@@ -73,8 +73,25 @@ class RotatingHotDomains(DomainDynamics):
         self.rotate_count = int(rotate_count)
 
     def rotation_step(self, now: float) -> int:
-        """How many cyclic shifts have been applied by time ``now``."""
-        return int(now // self.shift_interval)
+        """How many cyclic shifts have been applied by time ``now``.
+
+        Computed as the largest integer ``k`` with
+        ``k * shift_interval <= now`` — an exact integer-interval count.
+        Plain ``now // shift_interval`` drifts at boundaries whose times
+        are not exactly representable (``0.3 // 0.1 == 2.0``), so a
+        client waking exactly on a shift boundary could be mapped with
+        the *previous* rotation; the correction loops below run at most
+        one iteration each.
+        """
+        if now <= 0.0:
+            return 0
+        interval = self.shift_interval
+        step = int(now / interval)
+        while (step + 1) * interval <= now:
+            step += 1
+        while step and step * interval > now:
+            step -= 1
+        return step
 
     def current_domain(self, home_domain: int, now: float) -> int:
         if home_domain >= self.rotate_count:

@@ -1,0 +1,120 @@
+"""Eager vs sharded (lazy) client populations are bit-identical.
+
+The sharded population is not an approximation: per configuration it
+must replay the eager generator's RNG draw order exactly, so results,
+metrics, and mid-run checkpoint digests agree value-for-value in both
+engine modes.  These named configurations pin the feature dimensions
+that could plausibly diverge — adaptive TTL policies with non-oracle
+estimators, domain rotation, client address caching, geography, and
+multi-nameserver resolution.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.simulation import Simulation, run_simulation
+from repro.sim.checkpoint import state_digest
+
+#: The golden-trajectory configuration (tests/fixtures) plus one named
+#: config per feature dimension.  Keys are test ids.
+CONFIGS = {
+    "golden": dict(
+        policy="DRR2-TTL/S_K",
+        duration=600.0,
+        seed=97,
+        heterogeneity=50,
+        domain_count=10,
+        total_clients=120,
+        estimator="measured",
+        trace=True,
+        keep_utilization_series=True,
+    ),
+    "rotation": dict(
+        policy="PRR-TTL/K",
+        duration=400.0,
+        seed=11,
+        hot_rotation_interval=120.0,
+        hot_rotation_count=4,
+    ),
+    "caching": dict(
+        policy="RR",
+        duration=400.0,
+        seed=23,
+        client_address_caching=True,
+    ),
+    "estimator-window": dict(
+        policy="MRL",
+        duration=400.0,
+        seed=31,
+        workload_error=0.3,
+        estimator="window",
+    ),
+    "multi-ns": dict(
+        policy="DAL",
+        duration=400.0,
+        seed=41,
+        nameservers_per_domain=2,
+        min_accepted_ttl=60.0,
+    ),
+}
+
+
+def fingerprint(result) -> str:
+    """Exact serialized result, minus the population selector itself.
+
+    The embedded config echoes ``population`` back, which differs by
+    construction; every behavioral field must still match exactly.
+    """
+    data = dataclasses.asdict(result)
+    data["config"].pop("population", None)
+    return json.dumps(data, sort_keys=True, default=repr)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+@pytest.mark.parametrize("mode", ["event", "fastforward"])
+def test_results_bit_identical(name, mode):
+    results = {}
+    for population in ("eager", "lazy"):
+        config = SimulationConfig(population=population, **CONFIGS[name])
+        results[population] = run_simulation(config, engine_mode=mode)
+    assert fingerprint(results["eager"]) == fingerprint(results["lazy"])
+    assert results["eager"].total_sessions > 0
+
+
+@pytest.mark.parametrize("mode", ["event", "fastforward"])
+def test_midrun_digests_identical(mode):
+    """Checkpoint digests agree at every cut, not just at the finish."""
+    digests = {}
+    for population in ("eager", "lazy"):
+        config = SimulationConfig(population=population, **CONFIGS["golden"])
+        sim = Simulation(config, engine_mode=mode)
+        cuts = []
+        for t in (150.0, 300.0, 450.0, 600.0):
+            sim.advance(t)
+            cuts.append(state_digest(sim.snapshot_state()))
+        digests[population] = cuts
+    assert digests["eager"] == digests["lazy"]
+
+
+def test_auto_population_resolves_by_scale():
+    small = SimulationConfig(total_clients=120)
+    assert small.effective_population() == "eager"
+    large = SimulationConfig(total_clients=200_000, domain_count=1000)
+    assert large.effective_population() == "lazy"
+    forced = SimulationConfig(total_clients=120, population="lazy")
+    assert forced.effective_population() == "lazy"
+
+
+def test_workload_info_reports_population():
+    config = SimulationConfig(
+        duration=120.0, population="lazy", shard_size=32
+    )
+    sim = Simulation(config)
+    sim.run()
+    info = sim.workload_info
+    assert info["source"] == "synthetic"
+    assert info["population"] == "ShardedClientPopulation"
+    assert info["shards"]["shard_size"] == 32

@@ -2,10 +2,14 @@
 
 import math
 
-from hypothesis import assume, given
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.workload.domains import DomainSet
+from repro.workload.domains import (
+    DomainSet,
+    LazyUniformDomainSet,
+    LazyZipfDomainSet,
+)
 
 
 class TestClientCounts:
@@ -69,3 +73,95 @@ class TestRelativeWeights:
         weights = DomainSet.pure_zipf(domains).relative_weights
         assert max(weights) == 1.0
         assert all(0.0 < w <= 1.0 for w in weights)
+
+
+class TestLazyParity:
+    """Lazy domain sets are bit-equal to their eager counterparts.
+
+    The lazy classes exist so 10^6 domains never materialize
+    10^6-element lists; below the threshold the eager class is still
+    used, so every observable — shares, counts, inverse-CDF samples —
+    must agree value-for-value or configs straddling the threshold
+    would diverge.
+    """
+
+    @given(st.integers(min_value=1, max_value=400))
+    def test_zipf_shares_bit_equal(self, k):
+        eager = DomainSet.pure_zipf(k)
+        lazy = LazyZipfDomainSet(k)
+        assert list(lazy.iter_shares()) == eager.shares
+        for j in range(k):
+            assert lazy.share(j) == eager.shares[j]
+
+    @given(st.integers(min_value=1, max_value=400))
+    def test_uniform_shares_bit_equal(self, k):
+        eager = DomainSet.uniform(k)
+        lazy = LazyUniformDomainSet(k)
+        assert list(lazy.iter_shares()) == eager.shares
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=3000))
+    def test_client_counts_bit_equal(self, k, clients):
+        eager = DomainSet.pure_zipf(k).client_counts(clients)
+        lazy = LazyZipfDomainSet(k).client_counts(clients)
+        assert list(lazy) == eager
+
+    @given(st.integers(min_value=2, max_value=300),
+           st.floats(min_value=0.0, max_value=1.0, exclude_max=True,
+                     allow_nan=False))
+    def test_sample_domain_bit_equal(self, k, u):
+        eager = DomainSet.pure_zipf(k)
+        lazy = LazyZipfDomainSet(k)
+        assert lazy.sample_domain(u) == eager.sample_domain(u)
+
+
+class TestLazyScale:
+    """Large-K invariants evaluated without materializing K-lists."""
+
+    @given(st.integers(min_value=1_000, max_value=100_000),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_counts_sum_exactly_at_scale(self, k, clients):
+        counts = LazyZipfDomainSet(k).client_counts(clients)
+        assert sum(counts) == clients
+        assert all(c >= 0 for c in counts)
+
+    @given(st.integers(min_value=2, max_value=50_000))
+    @settings(max_examples=10, deadline=None)
+    def test_zipf_shares_strictly_descending(self, k):
+        lazy = LazyZipfDomainSet(k)
+        previous = None
+        for share in lazy.iter_shares():
+            assert share > 0.0
+            if previous is not None:
+                assert share < previous
+            previous = share
+
+    def test_million_domain_counts_sum_exactly(self):
+        domains = LazyZipfDomainSet(1_000_000)
+        total = 0
+        nonzero = 0
+        for count in domains.iter_client_counts(50_000):
+            total += count
+            nonzero += count > 0
+        assert total == 50_000
+        assert nonzero > 0
+
+    def test_million_domain_samples_cover_tail(self):
+        domains = LazyZipfDomainSet(1_000_000)
+        assert domains.sample_domain(0.0) == 0
+        head = domains.sample_domain(0.05)
+        tail = domains.sample_domain(0.999999)
+        assert head < tail
+        assert tail < 1_000_000
+
+
+class TestPerturbationMass:
+    @given(st.integers(min_value=2, max_value=2_000),
+           st.floats(min_value=0.01, max_value=0.5, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved_to_ulp_scale(self, k, error):
+        domains = DomainSet.pure_zipf(k)
+        assume(domains.shares[0] * (1 + error) < 1.0)
+        perturbed = domains.perturb_hottest(error)
+        assert abs(sum(perturbed.shares) - 1.0) < 1e-12

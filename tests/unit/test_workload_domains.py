@@ -116,3 +116,68 @@ class TestPerturbation:
     def test_single_domain_rejected(self):
         with pytest.raises(ConfigurationError):
             DomainSet([1.0]).perturb_hottest(0.1)
+
+
+class TestStarvationRepair:
+    """Largest-remainder rounding must not starve viable domains.
+
+    With shares [0.38, 0.38, 0.06, 0.06, 0.06, 0.06] and 10 clients the
+    exact allocations are [3.8, 3.8, 0.6, 0.6, 0.6, 0.6].  Floor+
+    largest-remainder hands both leftovers to the two hot domains
+    ([4, 4, 1, 1, 0, 0]), silently zeroing two domains whose exact
+    share exceeds half a client.  The repair pass demotes the largest
+    over-allocations instead, yielding [3, 3, 1, 1, 1, 1].
+    """
+
+    def test_half_client_domains_not_starved(self):
+        domains = DomainSet([0.38, 0.38, 0.06, 0.06, 0.06, 0.06])
+        assert domains.client_counts(10) == [3, 3, 1, 1, 1, 1]
+
+    def test_repair_preserves_total(self):
+        domains = DomainSet([0.38, 0.38, 0.06, 0.06, 0.06, 0.06])
+        for total in (6, 10, 17, 100):
+            assert sum(domains.client_counts(total)) == total
+
+    def test_no_repair_when_unstarved(self):
+        # Clean allocations are untouched: repair only fires when the
+        # historical rounding would starve a >= 0.5-client domain.
+        domains = DomainSet.pure_zipf(20)
+        counts = domains.client_counts(500)
+        assert sum(counts) == 500
+        assert all(c > 0 for c in counts)
+
+    def test_fewer_clients_than_half_share_domains(self):
+        # Four domains each worth 0.5 client but only 1 client to give:
+        # the largest exact shares win, the total is still exact.
+        domains = DomainSet([0.4, 0.2, 0.2, 0.2])
+        counts = domains.client_counts(1)
+        assert sum(counts) == 1
+        assert counts[0] == 1
+
+
+class TestHottestTieBreak:
+    def test_tie_resolves_to_lowest_index(self):
+        assert DomainSet([0.25, 0.25, 0.25, 0.25]).hottest_domain() == 0
+        assert DomainSet([0.1, 0.3, 0.3, 0.3]).hottest_domain() == 1
+
+    def test_perturbation_on_flat_region_is_deterministic(self):
+        domains = DomainSet([0.25, 0.25, 0.25, 0.25])
+        perturbed = domains.perturb_hottest(0.2)
+        assert perturbed.shares[0] == pytest.approx(0.3)
+        assert perturbed.hottest_domain() == 0
+
+
+class TestPerturbationRenormalization:
+    def test_sum_exactly_one_after_large_k_perturbation(self):
+        # The analytic rescale alone can drift below the constructor's
+        # tolerance at large K; explicit renormalization contracts it.
+        domains = DomainSet.pure_zipf(5000)
+        perturbed = domains.perturb_hottest(0.3)
+        assert abs(sum(perturbed.shares) - 1.0) < 1e-12
+
+    def test_repeated_perturbation_does_not_drift(self):
+        domains = DomainSet.pure_zipf(200)
+        for _ in range(50):
+            domains = DomainSet(domains.shares)
+        perturbed = domains.perturb_hottest(0.25)
+        assert abs(sum(perturbed.shares) - 1.0) < 1e-12

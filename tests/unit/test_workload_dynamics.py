@@ -60,3 +60,50 @@ class TestRotatingHotDomains:
         assert dynamics.rotation_step(99.0) == 0
         assert dynamics.rotation_step(100.0) == 1
         assert dynamics.rotation_step(350.0) == 3
+
+
+class TestRotationStepBoundaries:
+    """Exact integer interval counts at float-hostile boundaries.
+
+    ``now // interval`` (and a bare ``int(now / interval)``) drift by
+    one when ``k * interval`` is not exactly representable: a client
+    waking precisely on a shift boundary is then mapped with the
+    previous rotation.  Each case below is a boundary time computed as
+    ``k * interval`` for which the naive floor division disagrees with
+    the exact largest-``k``-with-``k * interval <= now`` answer.
+    """
+
+    CASES = [
+        (0.7, 1941),
+        (0.3, 808),
+        (0.7, 1193),
+        (1.0 / 3.0, 856),
+        (1.0 / 3.0, 121),
+    ]
+
+    def test_boundary_wakes_use_new_rotation(self):
+        for interval, k in self.CASES:
+            dynamics = RotatingHotDomains(interval, 5)
+            now = k * interval
+            assert dynamics.rotation_step(now) == k, (interval, k, now)
+
+    def test_matches_exact_definition_on_a_grid(self):
+        for interval in (0.1, 0.3, 0.7, 1.0 / 3.0, 2.5):
+            dynamics = RotatingHotDomains(interval, 4)
+            for k in range(0, 400, 7):
+                now = k * interval
+                step = dynamics.rotation_step(now)
+                assert step * interval <= now
+                assert (step + 1) * interval > now
+
+    def test_just_before_boundary_keeps_old_rotation(self):
+        dynamics = RotatingHotDomains(0.7, 5)
+        import math
+        boundary = 1941 * 0.7
+        before = math.nextafter(boundary, 0.0)
+        assert dynamics.rotation_step(before) == 1940
+
+    def test_zero_and_negative_times(self):
+        dynamics = RotatingHotDomains(0.3, 3)
+        assert dynamics.rotation_step(0.0) == 0
+        assert dynamics.rotation_step(-5.0) == 0
