@@ -1,0 +1,223 @@
+"""Multi-host dispatch throughput: grid wall time at 1/2/4 workers.
+
+Runs one factorial grid through the remote dispatch backend
+(``docs/DISTRIBUTED.md``) once per requested worker count — real
+``repro worker serve`` subprocesses over localhost TCP — verifies that
+every worker count produced cell-for-cell identical metrics, and prints
+a speedup table::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --workers 1,2,4
+
+What this measures is the **dispatch fabric**: the coordinator's
+ability to keep N workers busy — lease round-trips, result
+reassembly, progress forwarding — not the simulator's CPU scaling.
+Each cell therefore runs the real simulation and is then *paced* to a
+fixed wall duration (``--pace``, default 0.5 s) emulating a remote
+host's compute time. Pacing never touches results (the parity check
+below proves it); without it, a single-core CI host could show no
+speedup no matter how perfect the dispatch layer is, because extra
+local worker processes cannot make CPU-bound cells faster than the one
+core allows. ``--pace 0`` measures the raw CPU-bound grid instead —
+meaningful on hosts with at least as many cores as workers.
+
+Before each measured batch the same workers serve a small warm-up
+batch, so the measurement captures dispatch throughput rather than
+Python interpreter start-up (which any long-lived worker fleet pays
+once). ``--record`` writes the numbers into ``BENCH_ENGINE.json`` at
+the repo root under the ``dispatch`` key — the recorded scaling quoted
+by the docs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from typing import List, Tuple
+
+import repro
+from repro.experiments.config import SimulationConfig
+from repro.experiments.dispatch import RemoteBackend
+from repro.experiments.executor import ParallelExecutor
+from repro.experiments.persistence import result_to_dict
+from repro.experiments.reporting import format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_FILE = REPO_ROOT / "BENCH_ENGINE.json"
+
+DEFAULT_POLICIES = "RR,DAL,PRR2-TTL/K,DRR2-TTL/S_K"
+DEFAULT_LEVELS = "20,35,50,65"
+
+
+def _spawn_workers(address: Tuple[str, int], count: int) -> list:
+    host, port = address
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    return [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker", "serve",
+                "--connect", f"{host}:{port}",
+                "--connect-timeout", "15",
+                "--id", f"bench-w{index}",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for index in range(count)
+    ]
+
+
+def _run_batch(
+    configs: List[SimulationConfig], workers: int, pace: float
+) -> Tuple[list, float]:
+    """One measured dispatch of ``configs`` to ``workers`` fresh agents."""
+    backend = RemoteBackend(
+        ("127.0.0.1", 0), timeout=600.0, pace=pace or None
+    )
+    address = backend.bind()
+    executor = ParallelExecutor(backend=backend)
+    agents = _spawn_workers(address, workers)
+    try:
+        # Warm-up batch: every agent imports, connects, serves one cell.
+        executor.run_simulations(
+            [
+                SimulationConfig(policy="RR", duration=60.0, seed=1 + index)
+                for index in range(workers)
+            ]
+        )
+        results = executor.run_simulations(configs)
+        wall = executor.last_stats.wall_time
+        roster = executor.dispatch_info().get("roster", [])
+        if len(roster) != workers:
+            print(
+                f"WARNING: expected {workers} workers in the roster, "
+                f"saw {len(roster)}",
+                file=sys.stderr,
+            )
+    finally:
+        backend.close()
+        for agent in agents:
+            try:
+                agent.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                agent.kill()
+                agent.wait()
+    return results, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", default="1,2,4",
+        help="comma-separated worker counts to benchmark (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--policies", default=DEFAULT_POLICIES,
+        help=f"comma-separated policy axis (default {DEFAULT_POLICIES})",
+    )
+    parser.add_argument(
+        "--levels", default=DEFAULT_LEVELS,
+        help=f"comma-separated heterogeneity axis (default {DEFAULT_LEVELS})",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=240.0,
+        help="simulated seconds per cell (default 240)",
+    )
+    parser.add_argument(
+        "--pace", type=float, default=0.5,
+        help="wall seconds each cell is held to on its worker, emulating "
+        "remote compute (default 0.5; 0 = unpaced CPU-bound cells)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+    parser.add_argument(
+        "--record", action="store_true",
+        help="write the measurements into BENCH_ENGINE.json "
+        "under the 'dispatch' key",
+    )
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(v) for v in args.workers.split(",") if v]
+    configs = [
+        SimulationConfig(
+            policy=policy,
+            heterogeneity=level,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        for policy in args.policies.split(",") if policy
+        for level in (int(v) for v in args.levels.split(",") if v)
+    ]
+    host_cpus = len(os.sched_getaffinity(0)) if hasattr(
+        os, "sched_getaffinity"
+    ) else (os.cpu_count() or 1)
+    print(
+        f"{len(configs)} cells x {args.duration:g} simulated seconds, "
+        f"seed {args.seed}, pace {args.pace:g}s/cell; "
+        f"worker counts: {worker_counts}; host cpus: {host_cpus}"
+    )
+
+    rows = []
+    measured = {}
+    baseline_wall = None
+    baseline_cells = None
+    for workers in worker_counts:
+        results, wall = _run_batch(configs, workers, args.pace)
+        fingerprint = [result_to_dict(result) for result in results]
+        if baseline_cells is None:
+            baseline_cells = fingerprint
+            baseline_wall = wall
+        elif fingerprint != baseline_cells:
+            print(
+                f"ERROR: workers={workers} produced different results "
+                "than the first run — determinism violated",
+                file=sys.stderr,
+            )
+            return 1
+        speedup = baseline_wall / wall if wall > 0 else 0.0
+        measured[str(workers)] = {
+            "wall_seconds": round(wall, 3),
+            "cells_per_sec": round(len(configs) / wall, 2),
+            "speedup_vs_1": round(speedup, 2),
+        }
+        rows.append(
+            (
+                str(workers),
+                f"{wall:.2f} s",
+                f"{len(configs) / wall:.2f}",
+                f"{speedup:.2f}x",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["workers", "wall time", "cells/s", "speedup vs first"], rows
+        )
+    )
+    print("\nall worker counts produced cell-for-cell identical metrics")
+
+    if args.record:
+        data = json.loads(RESULTS_FILE.read_text())
+        data["dispatch"] = {
+            "cells": len(configs),
+            "duration": args.duration,
+            "pace_seconds": args.pace,
+            "transport": "tcp-localhost",
+            "host_cpus": host_cpus,
+            "workers": measured,
+            "python": sys.version.split()[0],
+            "recorded_at": time.strftime("%Y-%m-%d"),
+        }
+        RESULTS_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded under 'dispatch' in {RESULTS_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,11 +46,24 @@ Subcommands
 ``policies``
     List every policy name the registry knows.
 
+``worker``
+    ``repro worker serve --connect HOST:PORT`` turns this process into
+    a dispatch worker agent: it pulls simulation cells leased by a
+    coordinator running with ``--backend remote`` and streams progress
+    back. Start any number of them, on any mix of hosts.
+
 Multi-cell commands (``compare``, ``sweep``, ``grid``, ``figure``)
 accept ``--workers N`` to fan their independent simulations out over N
 worker processes; outputs are bit-identical for any value (each cell's
 seed is fixed before submission) and a timing block is printed whenever
 N > 1. See ``docs/PERFORMANCE.md``.
+
+Every simulating command also accepts ``--backend remote --listen
+HOST:PORT``: instead of a local process pool, the command becomes a
+coordinator that leases its cells to ``repro worker serve`` agents over
+TCP — multi-host fan-out with lease-based crash tolerance, results
+bit-identical to ``--workers 1`` regardless of worker count or crashes.
+See ``docs/DISTRIBUTED.md``.
 
 Every simulating command also accepts ``--engine-mode fastforward``:
 the hybrid fluid/event engine (:mod:`repro.sim.fastforward`) that
@@ -223,6 +236,24 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         help="checkpoint cadence in simulated seconds (required with "
         "--checkpoint-dir)",
     )
+    parser.add_argument(
+        "--backend", choices=("local", "remote"), default="local",
+        help="where cells execute: 'local' (this machine's process "
+        "pool, the default) or 'remote' (lease cells to 'repro worker "
+        "serve' agents over TCP; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:7571",
+        help="with --backend remote: the address the coordinator "
+        "listens on for workers (port 0 picks an ephemeral port; "
+        "default: 127.0.0.1:7571)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="with --backend remote: seconds a leased cell may go "
+        "without a worker heartbeat before it is re-leased "
+        "(default: 30)",
+    )
 
 
 def _checkpoint_options(
@@ -245,15 +276,30 @@ def _checkpoint_options(
     return directory, every
 
 
+def _listen_hint(address) -> None:
+    """Tell the operator where workers should connect (stderr)."""
+    host, port = address
+    print(
+        f"[dispatch] coordinator listening on {host}:{port} — start "
+        f"workers with: repro worker serve --connect {host}:{port}",
+        file=sys.stderr,
+    )
+
+
 def _executor(args: argparse.Namespace, progress, workers=None):
     """The executor a simulating command asked for, flags applied."""
     directory, every = _checkpoint_options(args)
+    backend = getattr(args, "backend", "local")
     return ParallelExecutor(
         workers=getattr(args, "workers", 1) if workers is None else workers,
         progress=progress,
         checkpoint_dir=directory,
         checkpoint_every=every,
         engine_mode=getattr(args, "engine_mode", "event"),
+        backend=backend,
+        listen=getattr(args, "listen", None),
+        lease_timeout=getattr(args, "lease_timeout", 30.0),
+        on_listen=_listen_hint if backend == "remote" else None,
     )
 
 
@@ -510,6 +556,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(grid_parser)
 
+    worker_parser = sub.add_parser(
+        "worker",
+        help="dispatch worker agent for '--backend remote' commands",
+    )
+    worker_sub = worker_parser.add_subparsers(
+        dest="worker_command", required=True
+    )
+    serve_parser = worker_sub.add_parser(
+        "serve",
+        help="pull and execute cells leased by a remote-backend "
+        "coordinator, reconnecting between batches",
+    )
+    serve_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (the --listen of the coordinating "
+        "command)",
+    )
+    serve_parser.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="exit after this long without a coordinator answering "
+        "(default: 10; exit status 0 if any cells were served, 1 if "
+        "no coordinator was ever reached)",
+    )
+    serve_parser.add_argument(
+        "--id", dest="worker_id", default=None, metavar="NAME",
+        help="worker name recorded in rosters and provenance manifests "
+        "(default: host:pid)",
+    )
+    serve_parser.add_argument(
+        "--crash-after", type=int, default=None, metavar="N",
+        help="chaos hook for crash-tolerance tests: after completing N "
+        "cells, take one more lease and die mid-cell without "
+        "cleanup (exit status 17)",
+    )
+
     validate_parser = sub.add_parser(
         "validate", help="run the model's internal consistency checks"
     )
@@ -534,6 +615,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run_command(args: argparse.Namespace, progress) -> int:
+    if args.command == "worker":
+        from .experiments.dispatch import parse_address, serve
+
+        return serve(
+            parse_address(args.connect),
+            connect_timeout=args.connect_timeout,
+            worker_id=args.worker_id,
+            crash_after=args.crash_after,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+
     if args.command == "run":
         traced = args.trace is not None
         config = _scenario_config(
@@ -546,7 +638,23 @@ def _run_command(args: argparse.Namespace, progress) -> int:
             ),
         )
         checkpoint_dir, checkpoint_every = _checkpoint_options(args)
-        if checkpoint_dir is not None:
+        if getattr(args, "backend", "local") == "remote":
+            if args.halt_at is not None:
+                raise SystemExit(
+                    "error: --halt-at simulates a local crash; it does "
+                    "not combine with --backend remote (kill a worker "
+                    "instead — the lease protocol recovers)"
+                )
+            executor = _executor(args, progress, workers=1)
+            result = executor.run_simulations(
+                [config], labels=[args.policy]
+            )[0]
+            if checkpoint_dir is not None:
+                print(
+                    f"[checkpointed bundle written to "
+                    f"{checkpoint_dir}/cell-0000]"
+                )
+        elif checkpoint_dir is not None:
             from .experiments.checkpointing import run_with_checkpoints
 
             result = run_with_checkpoints(
@@ -678,6 +786,7 @@ def _run_command(args: argparse.Namespace, progress) -> int:
             },
             workers=1,
             engine_mode=args.engine_mode,
+            dispatch=executor.dispatch_info(),
         )
         print(render_result(result))
         _print_observability(result)

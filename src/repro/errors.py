@@ -63,6 +63,17 @@ class CheckpointError(ReproError):
     """A checkpoint could not be written, read or applied."""
 
 
+class DispatchError(ReproError):
+    """The multi-host dispatch layer failed to execute a batch.
+
+    Raised by the remote execution backend when a grid cannot complete:
+    a cell raised on every worker that leased it, the coordinator's
+    overall deadline expired, or the wire protocol was violated. Worker
+    *crashes* do not raise this — a died or stalled worker's cells are
+    re-leased to surviving workers and the batch carries on.
+    """
+
+
 class CheckpointMismatchError(CheckpointError):
     """A resumed run diverged from the state a checkpoint recorded.
 

@@ -8,6 +8,13 @@ from .checkpointing import (
     verify_checkpoint,
 )
 from .config import PAPER_DEFAULTS, PAPER_DURATION, SimulationConfig
+from .dispatch import (
+    BACKENDS,
+    Backend,
+    LocalBackend,
+    RemoteBackend,
+    resolve_backend,
+)
 from .executor import ExecutionStats, ParallelExecutor, resolve_workers
 from .figures import (
     FIGURES,
@@ -54,8 +61,13 @@ from .simulation import Simulation, run_simulation
 from .validation import ValidationCheck, ValidationReport, validate_run
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
     "CHECKS",
     "ExecutionStats",
+    "LocalBackend",
+    "RemoteBackend",
+    "resolve_backend",
     "FIGURES",
     "FigureResult",
     "GridResult",

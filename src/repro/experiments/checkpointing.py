@@ -165,12 +165,17 @@ def _finalize(
     if engine_info["fallbacks"]:
         extra["engine_fallbacks"] = engine_info["fallbacks"]
     extra["workload"] = sim.workload_info
+    # When this cell runs inside a dispatch worker, stamp the worker's
+    # identity into the manifest — provenance only, never the result.
+    from .dispatch.context import dispatch_context
+
     save_run_artifacts(
         result,
         directory,
         stem=stem,
         extra=extra,
         engine_mode=engine_info["effective_mode"],
+        dispatch=dispatch_context(),
     )
     return result
 

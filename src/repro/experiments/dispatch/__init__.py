@@ -1,0 +1,55 @@
+"""Multi-host dispatch: execution backends for the parallel executor.
+
+This package fans experiment grids out over multiple hosts. The
+:class:`~repro.experiments.dispatch.backend.Backend` protocol has two
+implementations — the zero-change local process pool and a remote
+coordinator/worker pair speaking length-prefixed JSON over TCP — with
+lease-based crash tolerance and the executor's bit-identical-results
+guarantee intact. See ``docs/DISTRIBUTED.md`` for the protocol, the
+lease/retry semantics and deployment guidance.
+"""
+
+from .backend import (
+    BACKENDS,
+    Backend,
+    LocalBackend,
+    RemoteBackend,
+    resolve_backend,
+)
+from .context import dispatch_context, set_dispatch_context
+from .coordinator import Coordinator, DispatchOutcome, bind_listener
+from .leases import LeaseTable
+from .protocol import (
+    PROTOCOL_VERSION,
+    format_address,
+    parse_address,
+    recv_message,
+    result_from_wire,
+    result_to_wire,
+    send_message,
+)
+from .worker import CRASH_EXIT_STATUS, execute_cell, serve
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CRASH_EXIT_STATUS",
+    "Coordinator",
+    "DispatchOutcome",
+    "LeaseTable",
+    "LocalBackend",
+    "PROTOCOL_VERSION",
+    "RemoteBackend",
+    "bind_listener",
+    "dispatch_context",
+    "execute_cell",
+    "format_address",
+    "parse_address",
+    "recv_message",
+    "resolve_backend",
+    "result_from_wire",
+    "result_to_wire",
+    "send_message",
+    "serve",
+    "set_dispatch_context",
+]

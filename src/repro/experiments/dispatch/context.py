@@ -1,0 +1,32 @@
+"""Ambient dispatch identity, recorded into provenance manifests.
+
+When a worker agent executes a checkpointed cell, the cell's bundle is
+written by :func:`~repro.experiments.checkpointing.run_checkpointed_cell`
+deep below the dispatch layer. Rather than thread a "who am I" argument
+through every call, the worker sets a process-wide context once per
+session and the persistence layer picks it up when writing manifests —
+so a bundle produced on a remote worker records which worker, process
+and coordinator produced it, while bundles from ordinary local runs are
+unchanged (the context is ``None`` unless a worker agent set it).
+
+The context deliberately lands in the *manifest* (timestamped, already
+environment-specific) and never in the result JSON, whose byte-identity
+across backends is the dispatch layer's core guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+_CONTEXT: Optional[Dict[str, Any]] = None
+
+
+def set_dispatch_context(context: Optional[Dict[str, Any]]) -> None:
+    """Install (or clear, with ``None``) this process's dispatch identity."""
+    global _CONTEXT
+    _CONTEXT = dict(context) if context is not None else None
+
+
+def dispatch_context() -> Optional[Dict[str, Any]]:
+    """The current dispatch identity, or ``None`` outside a worker agent."""
+    return dict(_CONTEXT) if _CONTEXT is not None else None

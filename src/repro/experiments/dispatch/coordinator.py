@@ -1,0 +1,429 @@
+"""The dispatch coordinator: leases cells to workers, reassembles results.
+
+One :class:`Coordinator` drives one batch of cells over an already-bound
+listening socket (the :class:`~repro.experiments.dispatch.backend.RemoteBackend`
+owns the socket so it survives across batches — figure generators run
+several batches back-to-back and workers reconnect between them).
+
+Threading model, mirroring the process-pool executor's:
+
+* an accept thread admits workers and spawns one handler thread per
+  connection;
+* handler threads speak the :mod:`~repro.experiments.dispatch.protocol`
+  message loop, mutating the shared :class:`~.leases.LeaseTable` only
+  under the coordinator lock;
+* progress heartbeats are *forwarded* onto a queue the backend drains
+  from a single thread, so — exactly as with the local backend — a
+  :class:`~repro.obs.progress.ProgressSink` never sees concurrent
+  ``emit`` calls;
+* the caller's thread sits in :meth:`run`, sweeping expired leases every
+  quarter second until every cell has a result.
+
+Determinism: results are recorded per submission index and returned in
+submission order, each cell's seed was fixed before dispatch, and a
+re-leased cell's retry is idempotent — so the reassembled batch is
+bit-identical to ``workers=1`` no matter how many workers served it, in
+which order leases returned, or which workers died along the way.
+Duplicate completions (a stalled worker finishing a cell that was
+re-leased and already completed elsewhere) are dropped: the first
+completion wins, in results, progress events and timing alike.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import DispatchError
+from ...obs.progress import FINISHED, STARTED, ProgressEvent
+from .leases import LeaseTable
+from .protocol import (
+    ERROR,
+    HEARTBEAT,
+    HELLO,
+    LEASE,
+    PROGRESS,
+    PROTOCOL_VERSION,
+    REQUEST,
+    RESULT,
+    SHUTDOWN,
+    WAIT,
+    format_address,
+    recv_message,
+    result_from_wire,
+    send_message,
+)
+
+#: How long an idle worker is told to sleep before re-requesting work.
+WAIT_DELAY = 0.2
+
+#: Cadence of the coordinator's lease-expiry sweep (wall seconds).
+SWEEP_INTERVAL = 0.25
+
+
+@dataclass
+class DispatchOutcome:
+    """Everything one coordinated batch produced."""
+
+    #: Cell results in submission order.
+    results: List[Any]
+    #: ``(index, elapsed, worker)`` triples in completion order, first
+    #: completion per cell only — feed to
+    #: :meth:`~repro.experiments.executor.ExecutionStats.from_completions`.
+    completions: List[Tuple[int, float, str]]
+    #: Wall-clock seconds for the whole batch.
+    wall_time: float
+    #: Every worker that connected: id -> {"worker", "host", "pid", "cells"}.
+    roster: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Cells that needed a re-lease (index -> retry count).
+    retried: Dict[str, int] = field(default_factory=dict)
+
+    def roster_list(self) -> List[Dict[str, Any]]:
+        """Roster entries sorted by worker id (manifest-stable order)."""
+        return [self.roster[key] for key in sorted(self.roster)]
+
+
+class Coordinator:
+    """Serve one batch of cell tasks to however many workers connect.
+
+    Parameters
+    ----------
+    tasks:
+        JSON-safe cell task payloads, one per cell, in submission order.
+    labels:
+        Optional per-cell labels for progress heartbeats.
+    listener:
+        A bound, listening TCP socket (ownership stays with the caller).
+    lease_timeout:
+        Seconds a lease may go without a heartbeat before the cell is
+        returned to the pool.
+    events:
+        Optional :class:`queue.Queue` receiving
+        :class:`~repro.obs.progress.ProgressEvent` forwards.
+    timeout:
+        Optional overall wall-clock deadline for the batch; expiry
+        raises :class:`~repro.errors.DispatchError` naming the missing
+        cells (``None`` waits indefinitely — workers may join late).
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Dict[str, Any]],
+        labels: Optional[Sequence[Optional[str]]] = None,
+        *,
+        listener: socket.socket,
+        lease_timeout: float = 30.0,
+        events: Optional["queue.Queue"] = None,
+        timeout: Optional[float] = None,
+    ):
+        self.tasks = list(tasks)
+        self.labels = list(labels) if labels is not None else None
+        self.listener = listener
+        self.lease_timeout = float(lease_timeout)
+        self.events = events
+        self.timeout = timeout
+        self.table = LeaseTable(len(self.tasks), self.lease_timeout)
+        self.roster: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._stop = False
+        self._failure: Optional[DispatchError] = None
+        self._connections: List[socket.socket] = []
+        self._handlers: List[threading.Thread] = []
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The listener's bound ``(host, port)``."""
+        return self.listener.getsockname()[:2]
+
+    def run(self) -> DispatchOutcome:
+        """Block until every cell completed; return the batch outcome."""
+        start = time.perf_counter()
+        deadline = None if self.timeout is None else start + self.timeout
+        if not self.tasks:
+            return DispatchOutcome(
+                results=[], completions=[], wall_time=0.0
+            )
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="dispatch-accept", daemon=True
+        )
+        accept_thread.start()
+        try:
+            while True:
+                if self._done.wait(SWEEP_INTERVAL):
+                    break
+                with self._lock:
+                    self.table.expire()
+                if deadline is not None and time.perf_counter() > deadline:
+                    with self._lock:
+                        missing = self.table.cell_count - self.table.completed_count
+                        self._failure = self._failure or DispatchError(
+                            f"dispatch timed out after {self.timeout:g}s with "
+                            f"{missing} of {self.table.cell_count} cells "
+                            f"incomplete ({len(self.roster)} workers seen)"
+                        )
+                        self._done.set()
+                    break
+        finally:
+            self._shutdown()
+            accept_thread.join(timeout=2.0)
+        if self._failure is not None:
+            raise self._failure
+        with self._lock:
+            results = [
+                result_from_wire(payload)
+                for payload in self.table.results_in_order()
+            ]
+            completions = list(self.table.completions)
+            retried = {
+                str(index): count
+                for index, count in sorted(self.table.retried.items())
+            }
+        return DispatchOutcome(
+            results=results,
+            completions=completions,
+            wall_time=time.perf_counter() - start,
+            roster=dict(self.roster),
+            retried=retried,
+        )
+
+    # -- socket plumbing -----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        self.listener.settimeout(SWEEP_INTERVAL)
+        while not self._stop:
+            try:
+                connection, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us
+            connection.settimeout(None)
+            try:
+                # Leases and results are small framed messages; never let
+                # Nagle hold one back waiting for a delayed ACK.
+                connection.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError:
+                pass
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="dispatch-worker-conn",
+                daemon=True,
+            )
+            with self._lock:
+                self._connections.append(connection)
+                self._handlers.append(handler)
+            handler.start()
+
+    def _shutdown(self) -> None:
+        """End the batch: tell every worker goodbye and drop the conns."""
+        self._stop = True
+        with self._lock:
+            connections = list(self._connections)
+            handlers = list(self._handlers)
+        for connection in connections:
+            try:
+                send_message(connection, {"type": SHUTDOWN})
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for handler in handlers:
+            handler.join(timeout=1.0)
+
+    # -- per-connection message loop -----------------------------------------
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        worker_id = None
+        try:
+            hello = recv_message(connection)
+            if hello is None or hello.get("type") != HELLO:
+                return
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                send_message(connection, {"type": SHUTDOWN})
+                return
+            worker_id = str(
+                hello.get("worker")
+                or f"{hello.get('host', '?')}:{hello.get('pid', '?')}"
+            )
+            with self._lock:
+                self.roster.setdefault(
+                    worker_id,
+                    {
+                        "worker": worker_id,
+                        "host": hello.get("host"),
+                        "pid": hello.get("pid"),
+                        "cells": 0,
+                    },
+                )
+            while not self._stop:
+                message = recv_message(connection)
+                if message is None:
+                    return
+                kind = message["type"]
+                if kind == REQUEST:
+                    if not self._answer_request(connection, worker_id):
+                        return
+                elif kind == PROGRESS:
+                    self._handle_progress(message, worker_id)
+                elif kind == HEARTBEAT:
+                    with self._lock:
+                        self.table.heartbeat(
+                            int(message["cell"]), worker_id
+                        )
+                elif kind == RESULT:
+                    self._handle_result(message, worker_id)
+                elif kind == ERROR:
+                    self._handle_error(message, worker_id)
+                else:
+                    raise DispatchError(
+                        f"unexpected message type {kind!r} from worker "
+                        f"{worker_id}"
+                    )
+        except DispatchError as error:
+            with self._lock:
+                if self._failure is None:
+                    self._failure = error
+                self._done.set()
+        except OSError:
+            pass  # connection died mid-send; the release below re-pools
+        finally:
+            if worker_id is not None:
+                with self._lock:
+                    self.table.release_worker(worker_id)
+                    if self.table.done and self._failure is None:
+                        self._done.set()
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _answer_request(
+        self, connection: socket.socket, worker_id: str
+    ) -> bool:
+        """Reply to a work request; ``False`` ends the conversation."""
+        with self._lock:
+            if self._failure is not None or self.table.done:
+                send_message(connection, {"type": SHUTDOWN})
+                return False
+            index = self.table.lease(worker_id)
+            if index is None:
+                send_message(
+                    connection, {"type": WAIT, "delay": WAIT_DELAY}
+                )
+                return True
+            label = (
+                self.labels[index] if self.labels is not None else None
+            )
+            send_message(
+                connection,
+                {
+                    "type": LEASE,
+                    "cell": index,
+                    "label": label,
+                    "task": self.tasks[index],
+                    "timeout": self.lease_timeout,
+                },
+            )
+            return True
+
+    # -- worker message handling ---------------------------------------------
+
+    def _emit(self, event: ProgressEvent) -> None:
+        if self.events is not None:
+            self.events.put(event)
+
+    def _handle_progress(
+        self, message: Dict[str, Any], worker_id: str
+    ) -> None:
+        index = int(message["cell"])
+        with self._lock:
+            # Any sign of life on a lease extends its deadline.
+            self.table.heartbeat(index, worker_id)
+            already_done = self.table.completed(index)
+        if message.get("kind") == STARTED and not already_done:
+            self._emit(ProgressEvent(
+                kind=STARTED,
+                index=index,
+                label=message.get("label"),
+                worker=message.get("worker"),
+                timestamp=message.get("timestamp") or time.time(),
+            ))
+        # ``finished`` progress is not forwarded: the coordinator
+        # synthesizes exactly one finished event per cell from the
+        # winning result message, so a re-leased cell that two workers
+        # both finish can never double-count in any sink.
+
+    def _handle_result(
+        self, message: Dict[str, Any], worker_id: str
+    ) -> None:
+        index = int(message["cell"])
+        elapsed = float(message.get("elapsed") or 0.0)
+        with self._lock:
+            first = self.table.complete(
+                index, worker_id, message["payload"], elapsed
+            )
+            if first and worker_id in self.roster:
+                self.roster[worker_id]["cells"] += 1
+            done = self.table.done
+        if first:
+            self._emit(ProgressEvent(
+                kind=FINISHED,
+                index=index,
+                label=message.get("label"),
+                worker=message.get("worker"),
+                elapsed=elapsed,
+                timestamp=message.get("timestamp") or time.time(),
+            ))
+        if done:
+            self._done.set()
+
+    def _handle_error(
+        self, message: Dict[str, Any], worker_id: str
+    ) -> None:
+        index = message.get("cell")
+        label = message.get("label")
+        detail = message.get("error", "unknown error")
+        kind = message.get("kind", "Exception")
+        where = f"cell {index}" + (f" ({label})" if label else "")
+        error = DispatchError(
+            f"{where} raised {kind} on worker {worker_id}: {detail}"
+        )
+        traceback_text = message.get("traceback")
+        if traceback_text:
+            error.worker_traceback = traceback_text
+        with self._lock:
+            if self._failure is None:
+                self._failure = error
+            self._done.set()
+
+
+def bind_listener(address: Tuple[str, int], backlog: int = 16) -> socket.socket:
+    """Bind and listen on ``address``; returns the listening socket.
+
+    Raises :class:`~repro.errors.DispatchError` when the address cannot
+    be bound (port taken, host unresolvable) — with the address in the
+    message, since "bind failed" without it is useless in CI logs.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listener.bind(address)
+        listener.listen(backlog)
+    except OSError as exc:
+        listener.close()
+        raise DispatchError(
+            f"cannot listen on {format_address(address)}: {exc}"
+        ) from exc
+    return listener

@@ -1,0 +1,343 @@
+"""The dispatch worker agent behind ``repro worker serve``.
+
+A worker connects to a coordinator, pulls leased cells one at a time,
+executes each through the same code path the local backend uses —
+:func:`~repro.experiments.simulation.run_simulation` for plain cells,
+the idempotent
+:func:`~repro.experiments.checkpointing.run_checkpointed_cell` for
+checkpointed ones — and streams progress heartbeats back inline on the
+same connection, so the coordinator's ``--progress`` view is one live
+picture across every host.
+
+Liveness: while a cell runs, a keepalive thread sends ``heartbeat``
+messages at a third of the lease timeout, so a *busy* worker never loses
+its lease; a *dead or stalled* one stops heartbeating and the
+coordinator re-leases its cell. Execution is therefore at-least-once —
+safe because every cell is a pure function of its config and the
+checkpoint ledger makes retries resume instead of redo.
+
+Session lifecycle: a coordinator batch ends with ``shutdown`` (or simply
+a dropped connection); the worker then tries to *reconnect*, because
+multi-batch commands (the figure generators) run several batches over
+one listening socket. Only when no coordinator answers for
+``connect_timeout`` seconds does the agent exit — cleanly, with status
+0, if it ever served; with status 1 if it never reached a coordinator
+at all.
+
+``crash_after`` is the chaos hook the crash-tolerance tests and the CI
+``dispatch-smoke`` job use: after completing N cells the worker takes
+one more lease, reports it started, and dies via ``os._exit`` — a real
+kill, mid-lease, with no goodbye on the wire.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from ...errors import ReproError
+from ...obs.progress import FINISHED, STARTED
+from ..persistence import config_from_dict
+from ..simulation import run_simulation
+from .context import set_dispatch_context
+from .protocol import (
+    ERROR,
+    HEARTBEAT,
+    HELLO,
+    LEASE,
+    PROGRESS,
+    PROTOCOL_VERSION,
+    REQUEST,
+    RESULT,
+    SHUTDOWN,
+    WAIT,
+    format_address,
+    recv_message,
+    result_to_wire,
+    send_message,
+)
+
+#: Seconds between connection attempts while (re)connecting.
+RECONNECT_INTERVAL = 0.2
+
+#: Exit status of a ``--crash-after`` simulated kill (distinctive, so a
+#: test watching the process can tell the planned crash from a bug).
+CRASH_EXIT_STATUS = 17
+
+
+def execute_cell(task: Dict[str, Any]) -> Any:
+    """Run one leased cell task; returns its ``SimulationResult``.
+
+    ``task`` is the coordinator's JSON payload: the cell's serialized
+    config, its engine mode, and — when the batch runs under
+    checkpointing — the cell's ledger directory and cadence, in which
+    case execution goes through the idempotent
+    :func:`~repro.experiments.checkpointing.run_checkpointed_cell`
+    (reload finished cells, resume interrupted ones, start fresh ones).
+
+    An optional ``pace`` (wall seconds) holds the cell to at least that
+    duration by sleeping out any remainder after the simulation — the
+    dispatch benchmark's stand-in for remote compute, so fabric overlap
+    is measurable even on a single-core host where extra local
+    processes cannot make CPU-bound cells faster. Pacing is pure
+    timing: the result bytes are exactly the unpaced cell's.
+    """
+    engine_mode = task.get("engine_mode", "event")
+    pace = task.get("pace")
+    start = time.perf_counter() if pace is not None else 0.0
+    checkpoint = task.get("checkpoint")
+    if checkpoint is not None:
+        from ..checkpointing import run_checkpointed_cell
+
+        result = run_checkpointed_cell((
+            task["config"],
+            checkpoint["directory"],
+            float(checkpoint["every"]),
+            engine_mode,
+        ))
+    else:
+        result = run_simulation(
+            config_from_dict(task["config"]), engine_mode=engine_mode
+        )
+    if pace is not None:
+        remaining = float(pace) - (time.perf_counter() - start)
+        if remaining > 0:
+            time.sleep(remaining)
+    return result
+
+
+class _Keepalive:
+    """Background heartbeats for the cell currently executing."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        send_lock: threading.Lock,
+        cell: int,
+        interval: float,
+    ):
+        self._sock = sock
+        self._send_lock = send_lock
+        self._cell = cell
+        self._interval = max(0.1, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="dispatch-keepalive", daemon=True
+        )
+
+    def __enter__(self) -> "_Keepalive":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._send_lock:
+                    send_message(
+                        self._sock,
+                        {"type": HEARTBEAT, "cell": self._cell},
+                    )
+            except OSError:
+                return  # connection is gone; the main loop will notice
+
+
+def _connect(
+    address: Tuple[str, int], timeout: float
+) -> Optional[socket.socket]:
+    """Dial the coordinator, retrying for up to ``timeout`` seconds."""
+    deadline = time.monotonic() + timeout
+    while True:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.connect(address)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(RECONNECT_INTERVAL)
+
+
+def serve(
+    connect: Tuple[str, int],
+    *,
+    connect_timeout: float = 10.0,
+    worker_id: Optional[str] = None,
+    crash_after: Optional[int] = None,
+    log=None,
+) -> int:
+    """Serve leases from the coordinator at ``connect``; returns exit status.
+
+    Loops over coordinator *sessions* (one per batch) until no
+    coordinator answers for ``connect_timeout`` seconds. ``worker_id``
+    names this worker in rosters and manifests (default:
+    ``host:pid``). ``crash_after`` is the chaos hook described in the
+    module docstring. ``log`` is an optional callable for one-line
+    status messages (the CLI passes a stderr printer).
+    """
+    host = socket.gethostname()
+    pid = os.getpid()
+    identity = worker_id or f"{host}:{pid}"
+    say = log if log is not None else (lambda message: None)
+    completed = 0
+    sessions = 0
+    say(f"[worker {identity}] connecting to {format_address(connect)}")
+    while True:
+        sock = _connect(connect, connect_timeout)
+        if sock is None:
+            break
+        try:
+            completed = _serve_session(
+                sock,
+                identity=identity,
+                host=host,
+                pid=pid,
+                coordinator=format_address(connect),
+                completed=completed,
+                crash_after=crash_after,
+                say=say,
+            )
+            sessions += 1
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        say(f"[worker {identity}] session over ({completed} cells so far); "
+            f"waiting for another coordinator")
+    set_dispatch_context(None)
+    if sessions == 0:
+        say(f"[worker {identity}] no coordinator at "
+            f"{format_address(connect)} within {connect_timeout:g}s")
+        return 1
+    say(f"[worker {identity}] done: {completed} cells over "
+        f"{sessions} session(s)")
+    return 0
+
+
+def _serve_session(
+    sock: socket.socket,
+    *,
+    identity: str,
+    host: str,
+    pid: int,
+    coordinator: str,
+    completed: int,
+    crash_after: Optional[int],
+    say,
+) -> int:
+    """One hello-to-shutdown conversation; returns updated cell count."""
+    send_lock = threading.Lock()
+    set_dispatch_context({
+        "backend": "remote",
+        "worker": identity,
+        "host": host,
+        "pid": pid,
+        "coordinator": coordinator,
+    })
+    try:
+        with send_lock:
+            send_message(sock, {
+                "type": HELLO,
+                "protocol": PROTOCOL_VERSION,
+                "worker": identity,
+                "host": host,
+                "pid": pid,
+            })
+        while True:
+            with send_lock:
+                send_message(sock, {"type": REQUEST})
+            message = recv_message(sock)
+            if message is None or message["type"] == SHUTDOWN:
+                return completed
+            if message["type"] == WAIT:
+                time.sleep(float(message.get("delay", 0.2)))
+                continue
+            if message["type"] != LEASE:
+                return completed
+            completed = _execute_lease(
+                sock, send_lock, message,
+                pid=pid, completed=completed,
+                crash_after=crash_after, say=say,
+            )
+    except OSError:
+        return completed  # coordinator went away mid-send
+
+
+def _execute_lease(
+    sock: socket.socket,
+    send_lock: threading.Lock,
+    lease: Dict[str, Any],
+    *,
+    pid: int,
+    completed: int,
+    crash_after: Optional[int],
+    say,
+) -> int:
+    """Run one leased cell, streaming heartbeats; returns new count."""
+    index = int(lease["cell"])
+    label = lease.get("label")
+    with send_lock:
+        send_message(sock, {
+            "type": PROGRESS,
+            "kind": STARTED,
+            "cell": index,
+            "label": label,
+            "worker": pid,
+            "timestamp": time.time(),
+        })
+    if crash_after is not None and completed >= crash_after:
+        # The chaos hook: die holding the lease, no goodbye. os._exit
+        # skips every finally/atexit — as close to `kill -9` as a
+        # process can do to itself.
+        say(f"[worker] --crash-after {crash_after}: dying on cell {index}")
+        os._exit(CRASH_EXIT_STATUS)
+    interval = float(lease.get("timeout", 30.0)) / 3.0
+    start = time.perf_counter()
+    try:
+        with _Keepalive(sock, send_lock, index, interval):
+            result = execute_cell(lease["task"])
+        elapsed = time.perf_counter() - start
+    except ReproError as error:
+        with send_lock:
+            send_message(sock, {
+                "type": ERROR,
+                "cell": index,
+                "label": label,
+                "error": str(error),
+                "kind": type(error).__name__,
+                "traceback": traceback.format_exc(),
+            })
+        return completed
+    with send_lock:
+        send_message(sock, {
+            "type": PROGRESS,
+            "kind": FINISHED,
+            "cell": index,
+            "label": label,
+            "worker": pid,
+            "elapsed": elapsed,
+            "timestamp": time.time(),
+        })
+        send_message(sock, {
+            "type": RESULT,
+            "cell": index,
+            "label": label,
+            "worker": pid,
+            "elapsed": elapsed,
+            "timestamp": time.time(),
+            "payload": result_to_wire(result),
+        })
+    say(f"[worker] cell {index}"
+        + (f" ({label})" if label else "")
+        + f" done in {elapsed:.3f}s")
+    return completed + 1

@@ -64,13 +64,45 @@ def resolve_workers(workers: Optional[int]) -> int:
 class ExecutionStats:
     """Timing of one batch of cells run through the executor."""
 
-    #: Worker processes used (1 = in-process serial loop).
+    #: Worker processes used (1 = in-process serial loop; for the
+    #: remote backend, the number of distinct workers that connected).
     workers: int
     #: Wall-clock seconds for the whole batch, including pool startup.
     wall_time: float
     #: Per-cell wall-clock seconds, in submission order, measured inside
     #: the worker around the cell function alone.
     cell_times: List[float]
+
+    @classmethod
+    def from_completions(
+        cls,
+        workers: int,
+        wall_time: float,
+        completions: Sequence[Sequence],
+    ) -> "ExecutionStats":
+        """Build stats from ``(index, elapsed, ...)`` completion records.
+
+        The local pool collects per-cell times in submission order, but
+        remote leases return in *arbitrary* order — and, after a crash
+        re-lease, a cell can even complete more than once (a stalled
+        worker finishing late behind the retry's result). Summing raw
+        completion times in arrival order would misalign
+        :attr:`cell_times` with submission-order labels and double-count
+        re-leased cells in :attr:`total_cell_time` and :attr:`speedup`.
+        This constructor reorders by submission index and keeps only
+        each cell's **first** completion, so the stats are identical
+        however completions interleaved.
+        """
+        first: dict = {}
+        for completion in completions:
+            index, elapsed = int(completion[0]), float(completion[1])
+            if index not in first:
+                first[index] = elapsed
+        return cls(
+            workers=workers,
+            wall_time=wall_time,
+            cell_times=[first[index] for index in sorted(first)],
+        )
 
     @property
     def cell_count(self) -> int:
@@ -223,6 +255,20 @@ class ParallelExecutor:
         produce bit-identical results — the purity property the
         executor is built on is mode-independent — so this only changes
         wall-clock time, never outputs.
+    backend:
+        Where :meth:`run_simulations` batches physically run:
+        ``"local"`` (default — the process-pool path above, byte-for-byte
+        unchanged), ``"remote"`` (a coordinator leasing cells to
+        ``repro worker serve`` agents over TCP; see
+        :mod:`repro.experiments.dispatch` and ``docs/DISTRIBUTED.md``),
+        or a ready :class:`~repro.experiments.dispatch.backend.Backend`
+        instance. Results are bit-identical across backends.
+    listen, lease_timeout, dispatch_timeout, on_listen:
+        Remote-backend options (ignored for ``"local"``): the
+        coordinator's bind address (``"host:port"``, tuple, or ``None``
+        for an ephemeral localhost port), the per-lease heartbeat
+        deadline, an optional overall batch deadline, and an optional
+        bound-address callback.
 
     After each :meth:`map` / :meth:`run_simulations` call,
     :attr:`last_stats` holds the batch's :class:`ExecutionStats`.
@@ -236,6 +282,11 @@ class ParallelExecutor:
         checkpoint_dir: Optional[PathLike] = None,
         checkpoint_every: float = 0.0,
         engine_mode: str = "event",
+        backend=None,
+        listen=None,
+        lease_timeout: float = 30.0,
+        dispatch_timeout: Optional[float] = None,
+        on_listen=None,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
@@ -259,6 +310,18 @@ class ParallelExecutor:
                 f"choose from {ENGINE_MODES}"
             )
         self.engine_mode = engine_mode
+        # Imported here, not at module top: the dispatch package pulls
+        # in the persistence layer, which circularly reaches back to
+        # this module during package import.
+        from .dispatch.backend import resolve_backend
+
+        self.backend = resolve_backend(
+            backend,
+            listen=listen,
+            lease_timeout=lease_timeout,
+            dispatch_timeout=dispatch_timeout,
+            on_listen=on_listen,
+        )
         self.last_stats: Optional[ExecutionStats] = None
 
     def _chunks(self, items: List[T]) -> List[List[T]]:
@@ -283,7 +346,17 @@ class ParallelExecutor:
 
         ``labels`` (optional, one per item) name the cells in progress
         heartbeats; they are ignored without a progress sink.
+
+        :meth:`map` always runs on this machine — arbitrary callables
+        cannot cross the dispatch wire — so it refuses to run under a
+        remote backend rather than silently executing locally.
         """
+        if self.backend.name != "local":
+            raise ConfigurationError(
+                f"ParallelExecutor.map() requires the local backend "
+                f"(got {self.backend.name!r}); only run_simulations() "
+                f"batches can be dispatched remotely"
+            )
         items = list(items)
         if labels is not None and len(labels) != len(items):
             raise ConfigurationError(
@@ -406,7 +479,28 @@ class ParallelExecutor:
         in submission order, which is deterministic for a given batch) —
         completed cells are reloaded and interrupted ones resumed when
         the same batch is rerun over the same directory.
+
+        The batch executes on :attr:`backend` — results are
+        bit-identical whichever backend (and however many workers or
+        hosts) ran it.
         """
+        return self.backend.run_simulations(self, configs, labels)
+
+    def dispatch_info(self):
+        """Manifest-ready dispatch description of the last remote batch.
+
+        ``None`` under the local backend — local manifests are exactly
+        what they were before backends existed.
+        """
+        info = getattr(self.backend, "dispatch_info", None)
+        return info() if info is not None else None
+
+    def _run_simulations_local(
+        self,
+        configs: Sequence[SimulationConfig],
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[SimulationResult]:
+        """The local (serial / process-pool) simulation batch path."""
         if self.checkpoint_dir is None:
             cell = run_simulation
             if self.engine_mode != "event":
@@ -432,5 +526,5 @@ class ParallelExecutor:
     def __repr__(self) -> str:
         return (
             f"<ParallelExecutor workers={self.workers} "
-            f"chunk_size={self.chunk_size}>"
+            f"chunk_size={self.chunk_size} backend={self.backend.name}>"
         )

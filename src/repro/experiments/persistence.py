@@ -181,18 +181,20 @@ def save_run_artifacts(
     extra: Optional[Dict[str, Any]] = None,
     workers: Optional[int] = None,
     engine_mode: Optional[str] = None,
+    dispatch: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, pathlib.Path]:
     """Write one run's full observability bundle into ``directory``.
 
     Always writes ``<stem>.json`` (the result) and — when the result
     carries its config — ``<stem>.manifest.json`` (provenance: config,
     seed, package version, git state, environment fingerprint;
-    ``workers`` records the executor worker count there and
-    ``engine_mode`` the dispatch engine as a top-level manifest key).
-    When the run was traced, ``<stem>.trace.jsonl`` holds every trace
-    record, one JSON object per line; when the result carries a metrics
-    snapshot, ``<stem>.metrics.prom`` holds its Prometheus text
-    exposition. Returns the written paths keyed by artifact name.
+    ``workers`` records the executor worker count there, ``engine_mode``
+    the dispatch engine and ``dispatch`` the execution placement, both
+    as top-level manifest keys). When the run was traced,
+    ``<stem>.trace.jsonl`` holds every trace record, one JSON object per
+    line; when the result carries a metrics snapshot,
+    ``<stem>.metrics.prom`` holds its Prometheus text exposition.
+    Returns the written paths keyed by artifact name.
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -204,6 +206,7 @@ def save_run_artifacts(
             extra=extra,
             workers=workers,
             engine_mode=engine_mode,
+            dispatch=dispatch,
         )
     if result.trace is not None:
         paths["trace"] = write_trace_jsonl(

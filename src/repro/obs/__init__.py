@@ -53,6 +53,7 @@ from .progress import (
     TeeProgressSink,
     TerminalProgressRenderer,
     read_progress_jsonl,
+    salvage_progress_jsonl,
 )
 from .provenance import (
     MANIFEST_KIND,
@@ -107,6 +108,7 @@ __all__ = [
     "record_from_dict",
     "record_to_dict",
     "render_report",
+    "salvage_progress_jsonl",
     "salvage_trace_jsonl",
     "write_metrics_prom",
     "write_trace_jsonl",

@@ -34,7 +34,7 @@ import pathlib
 import sys
 import time
 from dataclasses import dataclass
-from typing import IO, List, Optional, Sequence, Union
+from typing import IO, List, Optional, Sequence, Tuple, Union
 
 PathLike = Union[str, pathlib.Path]
 
@@ -269,8 +269,14 @@ class TerminalProgressRenderer(ProgressSink):
         self.stream.flush()
 
 
-def read_progress_jsonl(path: PathLike) -> List[dict]:
-    """Load every record of a :class:`JsonlProgressSink` log."""
+def read_progress_jsonl(path: PathLike, *, strict: bool = True) -> List[dict]:
+    """Load every record of a :class:`JsonlProgressSink` log.
+
+    ``strict=False`` tolerates torn lines (see
+    :func:`salvage_progress_jsonl`) instead of raising on them.
+    """
+    if not strict:
+        return salvage_progress_jsonl(path)[0]
     records = []
     with pathlib.Path(path).open("r", encoding="utf-8") as stream:
         for line in stream:
@@ -278,3 +284,34 @@ def read_progress_jsonl(path: PathLike) -> List[dict]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def salvage_progress_jsonl(path: PathLike) -> Tuple[List[dict], int]:
+    """Load a heartbeat log, skipping torn lines; returns ``(records, skipped)``.
+
+    A progress log is written live — by a process that may be killed
+    mid-write, or tailed while a writer still holds a partial line — so
+    a trailing (or even interior) torn fragment is normal operation, not
+    corruption. Every line that parses as a JSON object is kept in file
+    order; everything else is counted, not raised. Monitoring that
+    drains heartbeats across dispatch workers must use this (or
+    ``read_progress_jsonl(..., strict=False)``) so one torn write cannot
+    take down the observer.
+    """
+    records: List[dict] = []
+    skipped = 0
+    with pathlib.Path(path).open("r", encoding="utf-8", errors="replace") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped

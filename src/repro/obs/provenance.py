@@ -75,6 +75,7 @@ def build_manifest(
     extra: Optional[Dict[str, Any]] = None,
     workers: Optional[int] = None,
     engine_mode: Optional[str] = None,
+    dispatch: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The provenance manifest for one run of ``config``.
 
@@ -87,7 +88,11 @@ def build_manifest(
     ``"fastforward"``) as a top-level key. The mode lives *outside* the
     ``environment`` block on purpose: both engines produce bit-identical
     results, so ``repro report --compare`` (which diffs the environment
-    block) must stay mode-agnostic.
+    block) must stay mode-agnostic. ``dispatch`` records where the run
+    physically executed (backend name and, for remote dispatch, the
+    worker identity or roster) as a top-level ``"dispatch"`` key — also
+    outside ``environment``, for the same reason: dispatch placement
+    never changes results.
     """
     from .. import __version__
 
@@ -110,6 +115,8 @@ def build_manifest(
     }
     if engine_mode is not None:
         manifest["engine_mode"] = engine_mode
+    if dispatch:
+        manifest["dispatch"] = dict(dispatch)
     if extra:
         manifest["extra"] = dict(extra)
     return manifest
@@ -122,11 +129,16 @@ def write_manifest(
     extra: Optional[Dict[str, Any]] = None,
     workers: Optional[int] = None,
     engine_mode: Optional[str] = None,
+    dispatch: Optional[Dict[str, Any]] = None,
 ) -> pathlib.Path:
     """Build and write a manifest as pretty JSON; returns the path."""
     path = pathlib.Path(path)
     manifest = build_manifest(
-        config, extra=extra, workers=workers, engine_mode=engine_mode
+        config,
+        extra=extra,
+        workers=workers,
+        engine_mode=engine_mode,
+        dispatch=dispatch,
     )
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
     return path

@@ -184,3 +184,31 @@ class TestExecutionStats:
     def test_summary_rows_render_na_for_degenerate_speedup(self, stats):
         rows = dict(stats.summary_rows())
         assert rows["speedup vs serial"] == "n/a"
+
+
+class TestFromCompletions:
+    """Stats aggregation for backends whose cells finish out of order."""
+
+    def test_out_of_order_completions_sorted_by_cell(self):
+        stats = ExecutionStats.from_completions(
+            2, 1.0, [(2, 0.3, "w0"), (0, 0.1, "w1"), (1, 0.2, "w0")]
+        )
+        assert stats.cell_times == [0.1, 0.2, 0.3]
+        assert stats.cell_count == 3
+        assert stats.workers == 2
+
+    def test_duplicate_completion_first_wins(self):
+        # A re-leased cell can complete twice (the original worker was
+        # only presumed dead); only the first completion may count, or
+        # retries would inflate cell counts and total cell time.
+        stats = ExecutionStats.from_completions(
+            2, 1.0, [(1, 0.2, "w0"), (1, 5.0, "w1"), (0, 0.1, "w0")]
+        )
+        assert stats.cell_count == 2
+        assert stats.cell_times == [0.1, 0.2]
+        assert stats.total_cell_time == pytest.approx(0.3)
+
+    def test_empty_completions(self):
+        stats = ExecutionStats.from_completions(1, 0.5, [])
+        assert stats.cell_count == 0
+        assert stats.speedup == 0.0

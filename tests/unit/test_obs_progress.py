@@ -225,3 +225,62 @@ class TestTeeProgressSink:
             assert len(sink.events) == 1
             assert sink.finishes == [None]
             assert sink.closed == 1
+
+
+class TestSalvageProgressJsonl:
+    """Torn heartbeat lines are normal operation, not corruption."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "progress.jsonl"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_clean_log_salvages_everything(self, tmp_path):
+        from repro.obs import salvage_progress_jsonl
+
+        path = self._write(
+            tmp_path,
+            '{"kind": "started", "cell": 0}\n'
+            '{"kind": "finished", "cell": 0, "elapsed": 0.5}\n',
+        )
+        records, skipped = salvage_progress_jsonl(path)
+        assert [r["kind"] for r in records] == ["started", "finished"]
+        assert skipped == 0
+
+    def test_torn_trailing_line_skipped_and_counted(self, tmp_path):
+        from repro.obs import salvage_progress_jsonl
+
+        path = self._write(
+            tmp_path,
+            '{"kind": "started", "cell": 0}\n'
+            '{"kind": "finis',  # writer killed mid-line
+        )
+        records, skipped = salvage_progress_jsonl(path)
+        assert [r["cell"] for r in records] == [0]
+        assert skipped == 1
+
+    def test_interior_garbage_does_not_break_later_records(self, tmp_path):
+        from repro.obs import salvage_progress_jsonl
+
+        path = self._write(
+            tmp_path,
+            '{"kind": "started", "cell": 0}\n'
+            "not json at all\n"
+            "[1, 2, 3]\n"  # valid JSON but not a record object
+            '{"kind": "finished", "cell": 0}\n',
+        )
+        records, skipped = salvage_progress_jsonl(path)
+        assert [r["kind"] for r in records] == ["started", "finished"]
+        assert skipped == 2
+
+    def test_strict_read_still_raises(self, tmp_path):
+        path = self._write(tmp_path, '{"kind": "started"\n')
+        with pytest.raises(ValueError):
+            read_progress_jsonl(path)
+
+    def test_non_strict_read_delegates_to_salvage(self, tmp_path):
+        path = self._write(
+            tmp_path, '{"kind": "started", "cell": 4}\n{"torn'
+        )
+        records = read_progress_jsonl(path, strict=False)
+        assert [r["cell"] for r in records] == [4]

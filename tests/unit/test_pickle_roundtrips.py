@@ -31,6 +31,7 @@ from repro.errors import (
     CheckpointError,
     CheckpointMismatchError,
     ConfigurationError,
+    DispatchError,
     EstimationError,
     PolicyError,
     ReproError,
@@ -66,6 +67,7 @@ ERROR_EXAMPLES = {
     UnknownPolicyError: UnknownPolicyError("RR9", ["RR", "RR2"]),
     EstimationError: EstimationError("shares are all zero"),
     CheckpointError: CheckpointError("cannot read checkpoint"),
+    DispatchError: DispatchError("worker connection torn mid-frame"),
     CheckpointMismatchError: CheckpointMismatchError(
         "state.rng", "abc123", "def456"
     ),
