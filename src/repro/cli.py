@@ -254,6 +254,20 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         "without a worker heartbeat before it is re-leased "
         "(default: 30)",
     )
+    parser.add_argument(
+        "--span-log", metavar="PATH", default=None,
+        help="with --backend remote: append coordinator cell-lifecycle "
+        "span events (submit/lease/heartbeat/complete/expire) to PATH "
+        "as JSONL; feed it — merged with worker span logs — to 'repro "
+        "fabric timeline'. Off by default; results are bit-identical "
+        "either way",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="with --backend remote: serve the coordinator's /metrics "
+        "(Prometheus text) and /healthz endpoints on PORT (0 picks an "
+        "ephemeral port); off by default",
+    )
 
 
 def _checkpoint_options(
@@ -300,6 +314,8 @@ def _executor(args: argparse.Namespace, progress, workers=None):
         listen=getattr(args, "listen", None),
         lease_timeout=getattr(args, "lease_timeout", 30.0),
         on_listen=_listen_hint if backend == "remote" else None,
+        span_log=getattr(args, "span_log", None),
+        metrics_port=getattr(args, "metrics_port", None),
     )
 
 
@@ -590,6 +606,78 @@ def build_parser() -> argparse.ArgumentParser:
         "cells, take one more lease and die mid-cell without "
         "cleanup (exit status 17)",
     )
+    serve_parser.add_argument(
+        "--span-log", metavar="PATH", default=None,
+        help="append this worker's span events (execute/finish/"
+        "result-sent, with lease attempt numbers) to PATH as JSONL "
+        "for 'repro fabric timeline'",
+    )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve this worker's /metrics (leases held, cells/s, "
+        "heartbeat RTT, RSS) and /healthz endpoints on PORT (0 picks "
+        "an ephemeral port; the bound address is logged)",
+    )
+    serve_parser.add_argument(
+        "--crash-dir", metavar="DIR", default=None,
+        help="crash forensics: keep a ring buffer of the last span "
+        "events and flush it to DIR/crash-<worker>.jsonl on abnormal "
+        "exit (SIGTERM, unhandled exception, or the --crash-after "
+        "chaos hook)",
+    )
+    serve_parser.add_argument(
+        "--span-ring", type=int, default=None, metavar="N",
+        help="ring buffer size for --crash-dir (default: 512)",
+    )
+
+    fabric_parser = sub.add_parser(
+        "fabric",
+        help="observe a remote-backend run: live status and post-hoc "
+        "timelines",
+    )
+    fabric_sub = fabric_parser.add_subparsers(
+        dest="fabric_command", required=True
+    )
+    status_parser = fabric_sub.add_parser(
+        "status",
+        help="scrape a live /metrics endpoint (coordinator or worker) "
+        "and print its health and metric samples",
+    )
+    status_parser.add_argument(
+        "endpoint", metavar="HOST:PORT",
+        help="a --metrics-port endpoint to scrape",
+    )
+    status_parser.add_argument(
+        "--raw", action="store_true",
+        help="print the raw Prometheus exposition text instead of the "
+        "parsed summary",
+    )
+    timeline_parser = fabric_sub.add_parser(
+        "timeline",
+        help="reconstruct per-cell timelines from span logs (merge the "
+        "coordinator's --span-log with any worker --span-log files), "
+        "reconcile the lease ledger, and print per-worker lanes with "
+        "re-lease annotations and a straggler summary",
+    )
+    timeline_parser.add_argument(
+        "span_logs", nargs="+", metavar="SPANS.jsonl",
+        help="span log files to merge (coordinator and/or workers; "
+        "crash-*.jsonl ring flushes work too)",
+    )
+    timeline_parser.add_argument(
+        "--run", default=None, metavar="ID",
+        help="batch run id to reconstruct (default: the latest run "
+        "in the logs; use 'repro fabric timeline --list-runs' to see "
+        "all)",
+    )
+    timeline_parser.add_argument(
+        "--list-runs", action="store_true",
+        help="list the run ids present in the span logs and exit",
+    )
+    timeline_parser.add_argument(
+        "--stragglers", type=int, default=5, metavar="N",
+        help="slowest-cells rows in the straggler table (default: 5)",
+    )
 
     validate_parser = sub.add_parser(
         "validate", help="run the model's internal consistency checks"
@@ -614,9 +702,74 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress.close()
 
 
+def _fabric_command(args: argparse.Namespace) -> int:
+    """``repro fabric status|timeline`` — observe a dispatched run."""
+    if args.fabric_command == "status":
+        import json as json_module
+        from urllib.error import URLError
+
+        from .obs.export import parse_prom_text
+        from .obs.http import scrape_endpoint
+
+        try:
+            health_text = scrape_endpoint(args.endpoint, path="/healthz")
+            metrics_text = scrape_endpoint(args.endpoint, path="/metrics")
+        except (OSError, URLError) as exc:
+            print(
+                f"error: cannot scrape {args.endpoint}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.raw:
+            print(metrics_text, end="")
+            return 0
+        health = json_module.loads(health_text)
+        role = health.pop("role", "unknown")
+        status = health.pop("status", "?")
+        print(f"{role} at {args.endpoint}: {status}")
+        for key in sorted(health):
+            print(f"  {key}: {health[key]}")
+        exposition = parse_prom_text(metrics_text)
+        print()
+        for name in sorted(exposition.samples):
+            kind = exposition.types.get(name.split("{")[0], "")
+            suffix = f"  ({kind})" if kind else ""
+            print(f"  {name} = {exposition.samples[name]:g}{suffix}")
+        return 0
+
+    # timeline
+    from .obs.spans import (
+        FabricTimeline,
+        load_span_logs,
+        render_fabric_timeline,
+    )
+
+    events, torn = load_span_logs(args.span_logs)
+    if torn:
+        print(
+            f"[salvage: skipped {torn} torn span line(s)]", file=sys.stderr
+        )
+    if args.list_runs:
+        for run in FabricTimeline.runs(events):
+            print(run)
+        return 0
+    timeline = FabricTimeline.from_events(events, run=args.run)
+    if timeline.run is None:
+        print("error: no run ids in the given span logs", file=sys.stderr)
+        return 1
+    reconciliation = timeline.reconcile()
+    print(
+        render_fabric_timeline(
+            timeline, reconciliation, stragglers=args.stragglers
+        )
+    )
+    return 0 if reconciliation.ok else 2
+
+
 def _run_command(args: argparse.Namespace, progress) -> int:
     if args.command == "worker":
         from .experiments.dispatch import parse_address, serve
+        from .obs.spans import DEFAULT_RING_SIZE
 
         return serve(
             parse_address(args.connect),
@@ -624,7 +777,18 @@ def _run_command(args: argparse.Namespace, progress) -> int:
             worker_id=args.worker_id,
             crash_after=args.crash_after,
             log=lambda message: print(message, file=sys.stderr),
+            span_log=args.span_log,
+            metrics_port=args.metrics_port,
+            span_ring=(
+                args.span_ring
+                if args.span_ring is not None
+                else DEFAULT_RING_SIZE
+            ),
+            crash_dir=args.crash_dir,
         )
+
+    if args.command == "fabric":
+        return _fabric_command(args)
 
     if args.command == "run":
         traced = args.trace is not None

@@ -28,7 +28,7 @@ from .protocol import (
     result_to_wire,
     send_message,
 )
-from .worker import CRASH_EXIT_STATUS, execute_cell, serve
+from .worker import CRASH_EXIT_STATUS, WorkerTelemetry, execute_cell, serve
 
 __all__ = [
     "BACKENDS",
@@ -40,6 +40,7 @@ __all__ = [
     "LocalBackend",
     "PROTOCOL_VERSION",
     "RemoteBackend",
+    "WorkerTelemetry",
     "bind_listener",
     "dispatch_context",
     "execute_cell",

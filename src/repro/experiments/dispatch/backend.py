@@ -28,9 +28,11 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ...errors import ConfigurationError
+from ...obs.spans import SpanRecorder
 from ..config import SimulationConfig
 from ..metrics import SimulationResult
 from ..persistence import config_to_dict
@@ -96,6 +98,15 @@ class RemoteBackend(Backend):
         sleeps out the remainder after the real simulation). Results
         are unaffected; only timing changes. ``None`` (the default)
         means real cells run at real speed.
+    span_log:
+        Optional JSONL path receiving the coordinator's cell-lifecycle
+        span events (:mod:`repro.obs.spans`). ``None`` (the default)
+        records nothing and pays nothing — the span layer is provably
+        absent, and results are bit-identical either way.
+    metrics_port:
+        Optional TCP port for the coordinator's ``/metrics`` +
+        ``/healthz`` endpoint (``0`` picks an ephemeral port). ``None``
+        serves nothing.
     """
 
     name = "remote"
@@ -108,6 +119,8 @@ class RemoteBackend(Backend):
         timeout: Optional[float] = None,
         on_listen: Optional[Callable[[Address], None]] = None,
         pace: Optional[float] = None,
+        span_log=None,
+        metrics_port: Optional[int] = None,
     ):
         if isinstance(listen, str):
             listen = parse_address(listen)
@@ -124,7 +137,21 @@ class RemoteBackend(Backend):
         self.timeout = timeout
         self.on_listen = on_listen
         self.pace = None if pace is None else float(pace)
+        self.span_log = span_log
+        self.metrics_port = metrics_port
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(span_log, source="coordinator")
+            if span_log is not None
+            else None
+        )
         self._listener: Optional[socket.socket] = None
+        self._obs_server = None
+        self._coordinator: Optional[Coordinator] = None
+        self._batches = 0
+        #: ``(host, port)`` of the metrics endpoint once serving.
+        self.metrics_address: Optional[Address] = None
+        #: Correlation id of the most recent batch's span events.
+        self.last_run_id: Optional[str] = None
         #: Outcome of the most recent batch (roster, retries, timings).
         self.last_outcome: Optional[DispatchOutcome] = None
 
@@ -141,7 +168,88 @@ class RemoteBackend(Backend):
             self._listener = bind_listener(self.listen)
             if self.on_listen is not None:
                 self.on_listen(self.address)
+        if self.metrics_port is not None and self._obs_server is None:
+            self._obs_server = self._start_obs_server()
         return self.address
+
+    def _start_obs_server(self):
+        """The coordinator's ``/metrics`` + ``/healthz`` endpoint.
+
+        Every fabric metric is a pull callback reading the live
+        coordinator's lease table — a scrape costs the coordinator
+        nothing between scrapes, and nothing at all when no coordinator
+        batch is active (callbacks report zeros).
+        """
+        from ...obs.http import ObservabilityServer
+        from ...obs.metrics import MetricsRegistry
+
+        def table():
+            coordinator = self._coordinator
+            return coordinator.table if coordinator is not None else None
+
+        def counts(reader):
+            def value():
+                current = table()
+                return reader(current) if current is not None else 0
+            return value
+
+        registry = MetricsRegistry()
+        for name, reader, help_text, kind in (
+            ("fabric.cells_total",
+             lambda t: t.cell_count,
+             "Cells in the current (or last) coordinated batch", "gauge"),
+            ("fabric.cells_completed",
+             lambda t: t.completed_count,
+             "Cells with a recorded first completion", "gauge"),
+            ("fabric.cells_pending",
+             lambda t: t.pending_count,
+             "Cells awaiting a worker lease", "gauge"),
+            ("fabric.cells_leased",
+             lambda t: t.leased_count,
+             "Cells currently out on a lease", "gauge"),
+            ("fabric.lease_retries",
+             lambda t: sum(t.retried.values()),
+             "Lease expiries + dead-worker releases this batch",
+             "counter"),
+        ):
+            registry.register(name, counts(reader), help=help_text,
+                              kind=kind)
+        registry.register(
+            "fabric.workers_connected",
+            lambda: (
+                len(self._coordinator.connected)
+                if self._coordinator is not None else 0
+            ),
+            help="Workers with a live coordinator connection",
+        )
+        registry.register(
+            "fabric.workers_seen",
+            lambda: (
+                len(self._coordinator.roster)
+                if self._coordinator is not None else 0
+            ),
+            help="Distinct workers that ever joined this batch",
+        )
+        registry.register(
+            "fabric.batches",
+            lambda: self._batches,
+            help="Coordinated batches run over this listener",
+            kind="counter",
+        )
+
+        def health() -> Dict[str, Any]:
+            return {
+                "role": "coordinator",
+                "listen": format_address(self.address),
+                "batches": self._batches,
+                "run": self.last_run_id,
+            }
+
+        server = ObservabilityServer(
+            self.metrics_port, registry, health=health
+        )
+        self.metrics_address = server.start()
+        return server
 
     @property
     def address(self) -> Address:
@@ -158,6 +266,12 @@ class RemoteBackend(Backend):
             except OSError:
                 pass
             self._listener = None
+        if self._obs_server is not None:
+            self._obs_server.close()
+            self._obs_server = None
+            self.metrics_address = None
+        if self.spans is not None:
+            self.spans.close()
 
     def __enter__(self) -> "RemoteBackend":
         self.bind()
@@ -185,6 +299,8 @@ class RemoteBackend(Backend):
                 target=_drain_queue, args=(events, sink), daemon=True
             )
             drainer.start()
+        run_id = uuid.uuid4().hex[:12]
+        self.last_run_id = run_id
         coordinator = Coordinator(
             specs,
             labels,
@@ -192,7 +308,11 @@ class RemoteBackend(Backend):
             lease_timeout=self.lease_timeout,
             events=events,
             timeout=self.timeout,
+            spans=self.spans,
+            run_id=run_id,
         )
+        self._coordinator = coordinator
+        self._batches += 1
         try:
             outcome = coordinator.run()
         except BaseException:
@@ -249,6 +369,12 @@ class RemoteBackend(Backend):
             "listen": format_address(self.address),
             "lease_timeout": self.lease_timeout,
         }
+        if self.span_log is not None:
+            info["span_log"] = str(self.span_log)
+        if self.last_run_id is not None:
+            info["run"] = self.last_run_id
+        if self.metrics_address is not None:
+            info["metrics"] = format_address(self.metrics_address)
         if self.last_outcome is not None:
             info["roster"] = self.last_outcome.roster_list()
             if self.last_outcome.retried:
@@ -271,6 +397,8 @@ def resolve_backend(
     lease_timeout: float = 30.0,
     dispatch_timeout: Optional[float] = None,
     on_listen: Optional[Callable[[Address], None]] = None,
+    span_log=None,
+    metrics_port: Optional[int] = None,
 ) -> Backend:
     """Turn a backend name (or ready instance) into a :class:`Backend`.
 
@@ -291,6 +419,8 @@ def resolve_backend(
             lease_timeout=lease_timeout,
             timeout=dispatch_timeout,
             on_listen=on_listen,
+            span_log=span_log,
+            metrics_port=metrics_port,
         )
     raise ConfigurationError(
         f"unknown dispatch backend {backend!r}; choose from {BACKENDS}"

@@ -39,7 +39,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ...errors import DispatchError
-from ...obs.progress import FINISHED, STARTED, ProgressEvent
+from ...obs import spans as span_kinds
+from ...obs.progress import FINISHED, ROSTER, STARTED, ProgressEvent
+from ...obs.spans import SpanRecorder
 from .leases import LeaseTable
 from .protocol import (
     ERROR,
@@ -108,6 +110,15 @@ class Coordinator:
         Optional overall wall-clock deadline for the batch; expiry
         raises :class:`~repro.errors.DispatchError` naming the missing
         cells (``None`` waits indefinitely — workers may join late).
+    spans:
+        Optional :class:`~repro.obs.spans.SpanRecorder` receiving
+        cell-lifecycle span events (submit, lease, heartbeat, complete,
+        expire, release, worker join/leave). ``None`` (the default)
+        emits nothing and costs nothing — every emission site is
+        guarded.
+    run_id:
+        Correlation id stamped on span events and leases of this batch
+        (observability only; never touches results).
     """
 
     def __init__(
@@ -119,6 +130,8 @@ class Coordinator:
         lease_timeout: float = 30.0,
         events: Optional["queue.Queue"] = None,
         timeout: Optional[float] = None,
+        spans: Optional[SpanRecorder] = None,
+        run_id: Optional[str] = None,
     ):
         self.tasks = list(tasks)
         self.labels = list(labels) if labels is not None else None
@@ -126,8 +139,14 @@ class Coordinator:
         self.lease_timeout = float(lease_timeout)
         self.events = events
         self.timeout = timeout
+        self.spans = spans
+        self.run_id = run_id
         self.table = LeaseTable(len(self.tasks), self.lease_timeout)
         self.roster: Dict[str, Dict[str, Any]] = {}
+        #: Worker ids with a live connection right now (id -> count of
+        #: open connections, normally 1) — the live roster the ROSTER
+        #: progress events and the coordinator metrics report.
+        self.connected: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._stop = False
@@ -142,6 +161,11 @@ class Coordinator:
         """The listener's bound ``(host, port)``."""
         return self.listener.getsockname()[:2]
 
+    def _span(self, kind: str, **fields: Any) -> None:
+        """Emit one coordinator span event (no-op without a recorder)."""
+        if self.spans is not None:
+            self.spans.emit(kind, run=self.run_id, **fields)
+
     def run(self) -> DispatchOutcome:
         """Block until every cell completed; return the batch outcome."""
         start = time.perf_counter()
@@ -150,6 +174,13 @@ class Coordinator:
             return DispatchOutcome(
                 results=[], completions=[], wall_time=0.0
             )
+        self._span(span_kinds.BATCH_BEGIN, cells=len(self.tasks))
+        if self.spans is not None:
+            for index in range(len(self.tasks)):
+                label = (
+                    self.labels[index] if self.labels is not None else None
+                )
+                self._span(span_kinds.SUBMIT, cell=index, label=label)
         accept_thread = threading.Thread(
             target=self._accept_loop, name="dispatch-accept", daemon=True
         )
@@ -159,7 +190,12 @@ class Coordinator:
                 if self._done.wait(SWEEP_INTERVAL):
                     break
                 with self._lock:
-                    self.table.expire()
+                    expired = self.table.expire_details()
+                for index, holder, attempt in expired:
+                    self._span(
+                        span_kinds.EXPIRE,
+                        cell=index, attempt=attempt, worker=holder,
+                    )
                 if deadline is not None and time.perf_counter() > deadline:
                     with self._lock:
                         missing = self.table.cell_count - self.table.completed_count
@@ -185,6 +221,12 @@ class Coordinator:
                 str(index): count
                 for index, count in sorted(self.table.retried.items())
             }
+        self._span(
+            span_kinds.BATCH_END,
+            cells=len(self.tasks),
+            wall_time=time.perf_counter() - start,
+            retries=sum(self.table.retried.values()),
+        )
         return DispatchOutcome(
             results=results,
             completions=completions,
@@ -267,6 +309,20 @@ class Coordinator:
                         "cells": 0,
                     },
                 )
+                self.connected[worker_id] = (
+                    self.connected.get(worker_id, 0) + 1
+                )
+                live = len(self.connected)
+            self._span(
+                span_kinds.WORKER_JOIN,
+                worker=worker_id,
+                host=hello.get("host"),
+                pid=hello.get("pid"),
+                connected=live,
+            )
+            self._emit(ProgressEvent(
+                kind=ROSTER, index=-1, workers=live, timestamp=time.time(),
+            ))
             while not self._stop:
                 message = recv_message(connection)
                 if message is None:
@@ -278,9 +334,15 @@ class Coordinator:
                 elif kind == PROGRESS:
                     self._handle_progress(message, worker_id)
                 elif kind == HEARTBEAT:
+                    cell = int(message["cell"])
                     with self._lock:
-                        self.table.heartbeat(
-                            int(message["cell"]), worker_id
+                        self.table.heartbeat(cell, worker_id)
+                    if self.spans is not None:
+                        self._span(
+                            span_kinds.HEARTBEAT,
+                            cell=cell,
+                            attempt=message.get("attempt"),
+                            worker=worker_id,
                         )
                 elif kind == RESULT:
                     self._handle_result(message, worker_id)
@@ -301,9 +363,28 @@ class Coordinator:
         finally:
             if worker_id is not None:
                 with self._lock:
-                    self.table.release_worker(worker_id)
+                    released = self.table.release_details(worker_id)
+                    count = self.connected.get(worker_id, 0) - 1
+                    if count > 0:
+                        self.connected[worker_id] = count
+                    else:
+                        self.connected.pop(worker_id, None)
+                    live = len(self.connected)
                     if self.table.done and self._failure is None:
                         self._done.set()
+                for index, holder, attempt in released:
+                    self._span(
+                        span_kinds.RELEASE,
+                        cell=index, attempt=attempt, worker=holder,
+                    )
+                self._span(
+                    span_kinds.WORKER_LEAVE,
+                    worker=worker_id, connected=live,
+                )
+                self._emit(ProgressEvent(
+                    kind=ROSTER, index=-1, workers=live,
+                    timestamp=time.time(),
+                ))
             try:
                 connection.close()
             except OSError:
@@ -326,6 +407,7 @@ class Coordinator:
             label = (
                 self.labels[index] if self.labels is not None else None
             )
+            attempt = self.table.attempt(index)
             send_message(
                 connection,
                 {
@@ -334,9 +416,15 @@ class Coordinator:
                     "label": label,
                     "task": self.tasks[index],
                     "timeout": self.lease_timeout,
+                    "attempt": attempt,
+                    "run": self.run_id,
                 },
             )
-            return True
+        self._span(
+            span_kinds.LEASE,
+            cell=index, attempt=attempt, worker=worker_id, label=label,
+        )
+        return True
 
     # -- worker message handling ---------------------------------------------
 
@@ -377,6 +465,15 @@ class Coordinator:
             if first and worker_id in self.roster:
                 self.roster[worker_id]["cells"] += 1
             done = self.table.done
+        self._span(
+            span_kinds.COMPLETE,
+            cell=index,
+            attempt=message.get("attempt"),
+            worker=worker_id,
+            winner=first,
+            elapsed=elapsed,
+            label=message.get("label"),
+        )
         if first:
             self._emit(ProgressEvent(
                 kind=FINISHED,
@@ -403,6 +500,15 @@ class Coordinator:
         traceback_text = message.get("traceback")
         if traceback_text:
             error.worker_traceback = traceback_text
+        if index is not None:
+            self._span(
+                span_kinds.ERROR,
+                cell=int(index),
+                attempt=message.get("attempt"),
+                worker=worker_id,
+                error=detail,
+                error_kind=kind,
+            )
         with self._lock:
             if self._failure is None:
                 self._failure = error

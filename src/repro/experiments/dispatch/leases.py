@@ -66,6 +66,26 @@ class LeaseTable:
     def completed_count(self) -> int:
         return len(self._results)
 
+    @property
+    def pending_count(self) -> int:
+        """Cells currently awaiting a worker."""
+        return len(self._pending)
+
+    @property
+    def leased_count(self) -> int:
+        """Cells currently out on a lease."""
+        return len(self._leases)
+
+    def attempt(self, index: int) -> int:
+        """The attempt number a lease of ``index`` would carry *now*.
+
+        Attempt 0 is the first lease; every expiry or dead-worker
+        release increments it — so the value equals the cell's retry
+        count, and ``(cell, attempt)`` uniquely names one lease for the
+        span layer.
+        """
+        return self.retried.get(index, 0)
+
     def results_in_order(self) -> List[Any]:
         """Result payloads in submission (index) order; batch must be done."""
         if not self.done:
@@ -124,30 +144,45 @@ class LeaseTable:
 
     def expire(self, now: Optional[float] = None) -> List[int]:
         """Return overdue leases to the pending pool; lists the cells."""
+        return [index for index, _, _ in self.expire_details(now)]
+
+    def expire_details(
+        self, now: Optional[float] = None
+    ) -> List[Tuple[int, str, int]]:
+        """:meth:`expire`, but listing ``(cell, holder, attempt)``.
+
+        ``attempt`` is the number of the lease being terminated (the
+        value :meth:`attempt` returned when it was granted) — what the
+        span layer stamps on its ``expire`` events.
+        """
         now = time.monotonic() if now is None else now
         expired = [
-            index
-            for index, (_, deadline) in self._leases.items()
+            (index, holder)
+            for index, (holder, deadline) in self._leases.items()
             if deadline <= now
         ]
-        for index in expired:
-            del self._leases[index]
-            self._pending.append(index)
-            self.retried[index] = self.retried.get(index, 0) + 1
-        return expired
+        return [self._repool(index, holder) for index, holder in expired]
 
     def release_worker(self, worker: str) -> List[int]:
         """Re-pool every lease ``worker`` holds (its connection died)."""
+        return [index for index, _, _ in self.release_details(worker)]
+
+    def release_details(self, worker: str) -> List[Tuple[int, str, int]]:
+        """:meth:`release_worker`, listing ``(cell, holder, attempt)``."""
         released = [
             index
             for index, (holder, _) in self._leases.items()
             if holder == worker
         ]
-        for index in released:
-            del self._leases[index]
-            self._pending.append(index)
-            self.retried[index] = self.retried.get(index, 0) + 1
-        return released
+        return [self._repool(index, worker) for index in released]
+
+    def _repool(self, index: int, holder: str) -> Tuple[int, str, int]:
+        """Terminate one lease, re-queue its cell, bump its retry count."""
+        attempt = self.retried.get(index, 0)
+        del self._leases[index]
+        self._pending.append(index)
+        self.retried[index] = attempt + 1
+        return index, holder, attempt
 
     def __repr__(self) -> str:
         return (

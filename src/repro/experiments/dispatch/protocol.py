@@ -13,18 +13,31 @@ worker sends one ``hello`` and then loops::
 
     worker -> {"type": "request"}
     coord  -> {"type": "lease", "cell": 3, "label": ..., "task": {...},
-               "timeout": 30.0}
+               "timeout": 30.0, "attempt": 0, "run": "8c1f..."}
            |  {"type": "wait", "delay": 0.2}      # nothing leasable now
            |  {"type": "shutdown"}                # batch is over
 
     # while executing a lease, inline on the same connection:
     worker -> {"type": "progress", "kind": "started", "cell": 3, ...}
-    worker -> {"type": "heartbeat", "cell": 3}    # keepalive during the cell
+    worker -> {"type": "heartbeat", "cell": 3, "attempt": 0,
+               "mono": ...}                       # keepalive during the cell
     worker -> {"type": "progress", "kind": "finished", "cell": 3, ...}
     worker -> {"type": "result", "cell": 3, "elapsed": 1.2,
                "result": {...}, "trace": [...] | null}
            |  {"type": "error", "cell": 3, "error": "...",
                "kind": "SimulationError", "traceback": "..."}
+
+Clock discipline: worker messages carry **two** stamps — ``timestamp``
+(wall-clock ``time.time()``, for humans and cross-host correlation) and
+``mono`` (``time.monotonic()``, for arithmetic). Lease deadlines and
+every latency/skew computation in the span reconstructor
+(:mod:`repro.obs.spans`) use monotonic stamps only, compared within one
+source process, so an NTP step mid-run cannot corrupt durations.
+``attempt`` numbers a specific lease of a cell (0 on first lease,
+incremented per re-lease) and ``run`` identifies the coordinated batch;
+workers echo both back so coordinator- and worker-side span events
+correlate. All three fields are additions a version-1 peer without
+spans simply ignores.
 
 Cell tasks and results travel as the JSON-safe dicts of
 :mod:`repro.experiments.persistence` — the same serialization the

@@ -269,6 +269,13 @@ class ParallelExecutor:
         for an ephemeral localhost port), the per-lease heartbeat
         deadline, an optional overall batch deadline, and an optional
         bound-address callback.
+    span_log, metrics_port:
+        Remote-backend observability (ignored for ``"local"``): an
+        optional JSONL path receiving coordinator span events
+        (:mod:`repro.obs.spans`) and an optional port for the
+        coordinator's ``/metrics`` + ``/healthz`` endpoint. Both default
+        to off, in which case the observability plane is provably
+        absent — results are bit-identical either way.
 
     After each :meth:`map` / :meth:`run_simulations` call,
     :attr:`last_stats` holds the batch's :class:`ExecutionStats`.
@@ -287,6 +294,8 @@ class ParallelExecutor:
         lease_timeout: float = 30.0,
         dispatch_timeout: Optional[float] = None,
         on_listen=None,
+        span_log=None,
+        metrics_port: Optional[int] = None,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
@@ -321,6 +330,8 @@ class ParallelExecutor:
             lease_timeout=lease_timeout,
             dispatch_timeout=dispatch_timeout,
             on_listen=on_listen,
+            span_log=span_log,
+            metrics_port=metrics_port,
         )
         self.last_stats: Optional[ExecutionStats] = None
 

@@ -1,6 +1,6 @@
 """Unified observability layer: metrics, trace export, provenance, telemetry.
 
-Five cooperating pieces sit on top of the
+Seven cooperating pieces sit on top of the
 :mod:`repro.sim.tracing` tracer skeleton:
 
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
@@ -17,16 +17,25 @@ Five cooperating pieces sit on top of the
 * :mod:`repro.obs.progress` — streaming per-cell heartbeats from the
   parallel executor into terminal renderers and JSONL progress logs;
 * :mod:`repro.obs.report` — self-contained run reports from saved
-  bundles, and regression-gating comparisons between two bundles.
+  bundles, and regression-gating comparisons between two bundles;
+* :mod:`repro.obs.spans` — causally-correlated cell-lifecycle span
+  events for the multi-host dispatch fabric, a reconstructor that
+  rebuilds per-cell timelines from merged span logs, and the crash
+  ring buffer flushed by dying workers;
+* :mod:`repro.obs.http` — a stdlib HTTP endpoint serving any
+  :class:`MetricsRegistry` as Prometheus text (``/metrics``) plus a
+  JSON liveness probe (``/healthz``).
 
 See ``docs/OBSERVABILITY.md`` for the category catalogue, the JSONL
 schemas, the live-telemetry workflow and the measured overhead numbers.
 """
 
 from .export import (
+    PromExposition,
     TraceDamage,
     category_counts,
     metrics_to_prom_text,
+    parse_prom_text,
     read_trace_jsonl,
     record_from_dict,
     record_to_dict,
@@ -34,6 +43,7 @@ from .export import (
     write_metrics_prom,
     write_trace_jsonl,
 )
+from .http import ObservabilityServer, scrape_endpoint
 from .metrics import (
     TIMESERIES_BUDGET,
     UTILIZATION_BINS,
@@ -45,6 +55,7 @@ from .metrics import (
 )
 from .progress import (
     FINISHED,
+    ROSTER,
     STARTED,
     JsonlProgressSink,
     NullProgressSink,
@@ -72,11 +83,23 @@ from .report import (
     load_bundle,
     render_report,
 )
+from .spans import (
+    FabricTimeline,
+    Reconciliation,
+    SpanEvent,
+    SpanRecorder,
+    crash_file_name,
+    load_span_logs,
+    read_span_jsonl,
+    render_fabric_timeline,
+    salvage_span_jsonl,
+)
 
 __all__ = [
     "BundleComparison",
     "Counter",
     "FINISHED",
+    "FabricTimeline",
     "Gauge",
     "JsonlProgressSink",
     "MANIFEST_KIND",
@@ -84,10 +107,16 @@ __all__ = [
     "MetricDelta",
     "MetricsRegistry",
     "NullProgressSink",
+    "ObservabilityServer",
     "ProgressEvent",
     "ProgressSink",
+    "PromExposition",
+    "ROSTER",
+    "Reconciliation",
     "RunBundle",
     "STARTED",
+    "SpanEvent",
+    "SpanRecorder",
     "TIMESERIES_BUDGET",
     "TeeProgressSink",
     "TerminalProgressRenderer",
@@ -98,18 +127,25 @@ __all__ = [
     "build_manifest",
     "category_counts",
     "compare_bundles",
+    "crash_file_name",
     "environment_fingerprint",
     "git_describe",
     "load_bundle",
+    "load_span_logs",
     "metrics_to_prom_text",
+    "parse_prom_text",
     "read_manifest",
     "read_progress_jsonl",
+    "read_span_jsonl",
     "read_trace_jsonl",
     "record_from_dict",
     "record_to_dict",
+    "render_fabric_timeline",
     "render_report",
     "salvage_progress_jsonl",
+    "salvage_span_jsonl",
     "salvage_trace_jsonl",
+    "scrape_endpoint",
     "write_metrics_prom",
     "write_trace_jsonl",
     "write_manifest",

@@ -1,0 +1,200 @@
+"""Scrapeable observability endpoints for the dispatch fabric.
+
+A coordinator or worker started with ``--metrics-port`` serves two
+paths from a stdlib :class:`~http.server.ThreadingHTTPServer` on a
+daemon thread:
+
+* ``/metrics`` — the process's :class:`~repro.obs.MetricsRegistry`
+  snapshot in Prometheus text exposition format (via
+  :func:`~repro.obs.export.metrics_to_prom_text`, with ``# HELP`` /
+  ``# TYPE`` lines from the registry's instrument metadata);
+* ``/healthz`` — a small JSON liveness document (role, identity,
+  uptime) for load balancers and smoke tests.
+
+The server is pure pull: nothing in the dispatch or simulation path
+blocks on, writes to, or even knows about it — a scrape calls the same
+registry callbacks a snapshot would. No port, no server, no thread:
+the feature is entirely absent unless an operator asked for it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from .export import metrics_to_prom_text
+from .metrics import MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` and ``/healthz`` off the owning server."""
+
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            registry = self.server.registry
+            body = metrics_to_prom_text(
+                registry.snapshot(),
+                prefix=self.server.prefix,
+                meta=registry.metadata(),
+            ).encode("utf-8")
+            self._reply(200, PROM_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            health: Dict[str, Any] = {"status": "ok"}
+            if self.server.health is not None:
+                health.update(self.server.health())
+            body = json.dumps(health, sort_keys=True).encode("utf-8")
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr chatter (scrapes are periodic)."""
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the registry for its handlers."""
+
+    daemon_threads = True
+
+    registry: MetricsRegistry
+    prefix: str
+    health: Optional[Callable[[], Dict[str, Any]]]
+
+
+class ObservabilityServer:
+    """Serve ``/metrics`` and ``/healthz`` for one process.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind (``0`` picks an ephemeral port — read
+        :attr:`address` after :meth:`start`).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` scraped by ``/metrics``.
+    host:
+        Bind address (default loopback; bind ``0.0.0.0`` explicitly to
+        expose the endpoint off-host).
+    prefix:
+        Prometheus metric-name prefix (default ``repro``).
+    health:
+        Optional zero-argument callable returning extra JSON-safe
+        fields merged into the ``/healthz`` document.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        prefix: str = "repro",
+        health: Optional[Callable[[], Dict[str, Any]]] = None,
+    ):
+        if not 0 <= int(port) <= 65535:
+            raise ConfigurationError(
+                f"metrics port out of range: {port!r}"
+            )
+        self.port = int(port)
+        self.host = host
+        self.registry = registry
+        self.prefix = prefix
+        self.health = health
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a daemon thread; returns ``(host, port)``."""
+        if self._server is None:
+            try:
+                server = _Server((self.host, self.port), _Handler)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot serve metrics on {self.host}:{self.port}: {exc}"
+                ) from exc
+            server.registry = self.registry
+            server.prefix = self.prefix
+            server.health = self.health
+            self._server = server
+            self._thread = threading.Thread(
+                target=server.serve_forever,
+                name="obs-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; :meth:`start` must have run."""
+        if self._server is None:
+            raise ConfigurationError("observability server not started")
+        return self._server.server_address[:2]
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        bound = (
+            "%s:%d" % self.address if self._server is not None else "unbound"
+        )
+        return f"<ObservabilityServer {bound}>"
+
+
+def uptime_clock() -> Callable[[], float]:
+    """A zero-argument monotonic uptime reader, anchored now."""
+    start = time.monotonic()
+    return lambda: time.monotonic() - start
+
+
+# -- scraping -----------------------------------------------------------------
+
+
+def scrape(url: str, timeout: float = 5.0) -> str:
+    """GET ``url`` and return the body text (stdlib urllib, no deps)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def scrape_endpoint(
+    address: Union[str, Tuple[str, int]],
+    path: str = "/metrics",
+    timeout: float = 5.0,
+) -> str:
+    """Scrape ``path`` from a ``host:port`` (or tuple) endpoint."""
+    if isinstance(address, tuple):
+        address = "%s:%d" % address
+    if "://" not in address:
+        address = f"http://{address}"
+    return scrape(address.rstrip("/") + path, timeout=timeout)

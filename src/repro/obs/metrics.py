@@ -35,11 +35,12 @@ TIMESERIES_BUDGET = 256
 class Counter:
     """A monotonically increasing integer instrument."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "help")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, help: Optional[str] = None):
         self.name = name
         self.value = 0
+        self.help = help
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -52,11 +53,12 @@ class Counter:
 class Gauge:
     """A point-in-time float instrument."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "help")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, help: Optional[str] = None):
         self.name = name
         self.value = 0.0
+        self.help = help
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -71,13 +73,19 @@ class TimeWeightedHistogram:
     each sample summarizes the interval that just closed.
     """
 
-    def __init__(self, name: str, bins: Sequence[float] = UTILIZATION_BINS):
+    def __init__(
+        self,
+        name: str,
+        bins: Sequence[float] = UTILIZATION_BINS,
+        help: Optional[str] = None,
+    ):
         edges = tuple(float(edge) for edge in bins)
         if list(edges) != sorted(set(edges)):
             raise ConfigurationError(
                 f"histogram bins must be strictly increasing, got {bins!r}"
             )
         self.name = name
+        self.help = help
         self.bins = edges
         #: Seconds spent at a value < edge, per edge, plus a final
         #: overflow bucket (value >= last edge).
@@ -157,14 +165,23 @@ class TimeSeries:
     retained samples are identical however the run was executed.
     """
 
-    __slots__ = ("name", "budget", "samples", "observations", "_stride", "_phase")
+    __slots__ = (
+        "name", "budget", "samples", "observations", "_stride", "_phase",
+        "help",
+    )
 
-    def __init__(self, name: str, budget: int = TIMESERIES_BUDGET):
+    def __init__(
+        self,
+        name: str,
+        budget: int = TIMESERIES_BUDGET,
+        help: Optional[str] = None,
+    ):
         if budget < 2:
             raise ConfigurationError(
                 f"timeseries {name!r} budget must be >= 2, got {budget!r}"
             )
         self.name = name
+        self.help = help
         self.budget = int(budget)
         #: Retained ``(time, value)`` pairs, time-ordered.
         self.samples: List[Tuple[float, float]] = []
@@ -225,55 +242,101 @@ class MetricsRegistry:
     def __init__(self):
         self._instruments: Dict[str, Any] = {}
         self._callbacks: Dict[str, Callable[[], Any]] = {}
+        self._callback_meta: Dict[str, Dict[str, Optional[str]]] = {}
 
     def _claim(self, name: str) -> None:
         if name in self._instruments or name in self._callbacks:
             raise ConfigurationError(f"metric {name!r} already registered")
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, help: Optional[str] = None) -> Counter:
         """Create and register a :class:`Counter`."""
         self._claim(name)
-        instrument = Counter(name)
+        instrument = Counter(name, help)
         self._instruments[name] = instrument
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, help: Optional[str] = None) -> Gauge:
         """Create and register a :class:`Gauge`."""
         self._claim(name)
-        instrument = Gauge(name)
+        instrument = Gauge(name, help)
         self._instruments[name] = instrument
         return instrument
 
     def histogram(
-        self, name: str, bins: Sequence[float] = UTILIZATION_BINS
+        self,
+        name: str,
+        bins: Sequence[float] = UTILIZATION_BINS,
+        help: Optional[str] = None,
     ) -> TimeWeightedHistogram:
         """Create and register a :class:`TimeWeightedHistogram`."""
         self._claim(name)
-        instrument = TimeWeightedHistogram(name, bins)
+        instrument = TimeWeightedHistogram(name, bins, help)
         self._instruments[name] = instrument
         return instrument
 
     def timeseries(
-        self, name: str, budget: int = TIMESERIES_BUDGET
+        self,
+        name: str,
+        budget: int = TIMESERIES_BUDGET,
+        help: Optional[str] = None,
     ) -> TimeSeries:
         """Create and register a :class:`TimeSeries`."""
         self._claim(name)
-        instrument = TimeSeries(name, budget)
+        instrument = TimeSeries(name, budget, help)
         self._instruments[name] = instrument
         return instrument
 
-    def register(self, name: str, callback: Callable[[], Any]) -> None:
+    def register(
+        self,
+        name: str,
+        callback: Callable[[], Any],
+        help: Optional[str] = None,
+        kind: str = "gauge",
+    ) -> None:
         """Register a zero-argument pull callback under ``name``.
 
         The callback is invoked at snapshot time only — the subsystem
-        pays nothing per event for being observable.
+        pays nothing per event for being observable. ``help`` and
+        ``kind`` (``"gauge"`` or ``"counter"``, how the value behaves)
+        feed :meth:`metadata` for Prometheus exposition.
         """
         self._claim(name)
         self._callbacks[name] = callback
+        if help is not None or kind != "gauge":
+            self._callback_meta[name] = {"kind": kind, "help": help}
 
     def names(self) -> List[str]:
         """Every registered metric name, sorted."""
         return sorted((*self._instruments, *self._callbacks))
+
+    def metadata(self) -> Dict[str, Dict[str, Optional[str]]]:
+        """Per-metric ``{"kind", "help"}`` for Prometheus exposition.
+
+        ``kind`` is ``counter`` / ``gauge`` / ``histogram`` /
+        ``timeseries`` for instruments, and whatever :meth:`register`
+        declared (default ``gauge``) for pull callbacks. Feed this to
+        :func:`~repro.obs.export.metrics_to_prom_text` as ``meta=`` so
+        the exposition carries ``# HELP`` / ``# TYPE`` lines.
+        """
+        kinds = {
+            Counter: "counter",
+            Gauge: "gauge",
+            TimeWeightedHistogram: "histogram",
+            TimeSeries: "timeseries",
+        }
+        meta: Dict[str, Dict[str, Optional[str]]] = {}
+        for name, instrument in self._instruments.items():
+            meta[name] = {
+                "kind": kinds.get(type(instrument), "gauge"),
+                "help": getattr(instrument, "help", None),
+            }
+        for name in self._callbacks:
+            meta[name] = dict(
+                self._callback_meta.get(
+                    name, {"kind": "gauge", "help": None}
+                )
+            )
+        return dict(sorted(meta.items()))
 
     def snapshot(self) -> Dict[str, Any]:
         """All current values as a flat, JSON-safe, name-sorted dict."""

@@ -42,17 +42,24 @@ PathLike = Union[str, pathlib.Path]
 STARTED = "started"
 FINISHED = "finished"
 
+#: Batch-level event kind: the live worker roster changed (a remote
+#: dispatch worker joined or left). ``index`` is -1 (no cell);
+#: ``workers`` carries the new roster size.
+ROSTER = "roster"
+
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One heartbeat from one experiment cell.
+    """One heartbeat from one experiment cell (or the batch itself).
 
-    ``kind`` is :data:`STARTED` or :data:`FINISHED`; ``index`` is the
-    cell's position in submission order; ``label`` names the cell when
+    ``kind`` is :data:`STARTED`, :data:`FINISHED` or :data:`ROSTER`;
+    ``index`` is the cell's position in submission order (-1 for
+    batch-level :data:`ROSTER` events); ``label`` names the cell when
     the caller supplied labels (``policy=RR,heterogeneity=20`` style);
     ``worker`` is the emitting process id; ``elapsed`` is the cell's
     wall time (``finished`` events only); ``timestamp`` is the
-    wall-clock ``time.time()`` at emission.
+    wall-clock ``time.time()`` at emission; ``workers`` is the live
+    worker-roster size (``roster`` events only).
     """
 
     kind: str
@@ -61,6 +68,7 @@ class ProgressEvent:
     worker: Optional[int] = None
     elapsed: Optional[float] = None
     timestamp: float = 0.0
+    workers: Optional[int] = None
 
 
 class ProgressSink:
@@ -124,6 +132,7 @@ class JsonlProgressSink(ProgressSink):
         {"event": "started", "cell": 0, "label": "...", "worker": 123, "t": ...}
         {"event": "finished", "cell": 0, "label": "...", "worker": 123,
          "elapsed": 0.51, "t": ...}
+        {"event": "roster", "workers": 2, "t": ...}      # remote backend
         {"event": "end", "cells": 8, "wall_time": 2.97, "t": ...}
 
     The stream is flushed after every record so the log can be tailed
@@ -150,6 +159,13 @@ class JsonlProgressSink(ProgressSink):
         )
 
     def emit(self, event: ProgressEvent) -> None:
+        if event.kind == ROSTER:
+            self._write({
+                "event": ROSTER,
+                "workers": event.workers,
+                "t": event.timestamp or time.time(),
+            })
+            return
         record = {
             "event": event.kind,
             "cell": event.index,
@@ -198,6 +214,11 @@ class TerminalProgressRenderer(ProgressSink):
     def _reset(self, total: int, workers: int) -> None:
         self.total = total
         self.workers = max(1, workers)
+        #: Live remote roster size (``roster`` events); ``None`` until
+        #: the first worker joins. Under ``--backend remote`` the
+        #: configured local worker count is meaningless — this is the
+        #: number that is displayed and that drives the ETA.
+        self.live_workers: Optional[int] = None
         self.finished = 0
         self.cell_times: List[float] = []
         self.running: dict = {}  # index -> label (or "cell <i>")
@@ -210,6 +231,12 @@ class TerminalProgressRenderer(ProgressSink):
         self._draw(force=True)
 
     def emit(self, event: ProgressEvent) -> None:
+        if event.kind == ROSTER:
+            if event.workers is not None:
+                self.live_workers = event.workers
+                self.workers = max(1, event.workers)
+            self._draw(force=True)
+            return
         label = event.label or f"cell {event.index}"
         if event.kind == STARTED:
             self.running[event.index] = label
@@ -247,6 +274,8 @@ class TerminalProgressRenderer(ProgressSink):
         parts.append(f"{self.finished / elapsed:.2f} cells/s")
         eta = self.eta_seconds()
         parts.append(f"ETA {eta:.1f}s" if eta is not None else "ETA --")
+        if self.live_workers is not None:
+            parts.append(f"workers {self.live_workers}")
         if self.running:
             busy = ", ".join(
                 label for _, label in sorted(self.running.items())[:4]

@@ -175,6 +175,82 @@ class TestLeaseTable:
         with pytest.raises(ValueError):
             table.results_in_order()
 
+    def test_attempt_numbers_track_retries(self):
+        table = LeaseTable(1, lease_timeout=5.0)
+        assert table.attempt(0) == 0
+        table.lease("w0", now=0.0)
+        assert table.attempt(0) == 0  # the live lease is attempt 0
+        table.expire(now=5.0)
+        assert table.attempt(0) == 1  # the next lease will be attempt 1
+        table.lease("w1", now=6.0)
+        table.release_worker("w1")
+        assert table.attempt(0) == 2
+
+    def test_expire_details_name_the_terminated_lease(self):
+        table = LeaseTable(2, lease_timeout=5.0)
+        table.lease("w0", now=0.0)
+        table.lease("w1", now=2.0)
+        # Only w0's lease is overdue; the detail row carries the attempt
+        # number the lease was granted with (0), not the bumped count.
+        assert table.expire_details(now=5.0) == [(0, "w0", 0)]
+        table.lease("w2", now=6.0)
+        table.heartbeat(1, "w1", now=10.0)  # w1 stays alive
+        assert table.expire_details(now=11.0) == [(0, "w2", 1)]
+
+    def test_release_details_name_every_lease_of_the_worker(self):
+        table = LeaseTable(3, lease_timeout=100.0)
+        table.lease("w0", now=0.0)
+        table.lease("w1", now=0.0)
+        table.lease("w0", now=0.0)
+        details = sorted(table.release_details("w0"))
+        assert details == [(0, "w0", 0), (2, "w0", 0)]
+        assert table.retried == {0: 1, 2: 1}
+
+    def test_pending_and_leased_counts(self):
+        table = LeaseTable(3, lease_timeout=10.0)
+        assert (table.pending_count, table.leased_count) == (3, 0)
+        table.lease("w0", now=0.0)
+        assert (table.pending_count, table.leased_count) == (2, 1)
+        table.complete(0, "w0", "done", 0.1)
+        assert (table.pending_count, table.leased_count) == (2, 0)
+
+
+class TestHeartbeatClockDiscipline:
+    def test_heartbeats_carry_both_wall_and_monotonic_stamps(self):
+        # Heartbeats stamp time.time() (wall, cross-host correlation)
+        # AND time.monotonic() (duration math) — wall stamps alone are
+        # useless for latency: an NTP step would corrupt every interval.
+        import threading
+        import time
+
+        from repro.experiments.dispatch.worker import (
+            WorkerTelemetry,
+            _Keepalive,
+        )
+
+        ours, theirs = socket.socketpair()
+        telemetry = WorkerTelemetry("w-test")
+        try:
+            keepalive = _Keepalive(
+                theirs, threading.Lock(), cell=3, interval=0.1,
+                attempt=2, telemetry=telemetry,
+            )
+            before_wall, before_mono = time.time(), time.monotonic()
+            with keepalive:
+                message = recv_message(ours)
+            assert message["type"] == "heartbeat"
+            assert message["cell"] == 3
+            assert message["attempt"] == 2
+            assert message["timestamp"] >= before_wall
+            assert message["mono"] >= before_mono
+            # The two stamps come from different clocks: same-epoch
+            # values would mean one clock was used for both fields.
+            assert abs(message["timestamp"] - message["mono"]) > 1e6
+            assert telemetry.heartbeats_sent >= 1
+        finally:
+            ours.close()
+            theirs.close()
+
 
 class TestResolveBackend:
     def test_default_and_local(self):

@@ -14,6 +14,7 @@ from repro.obs import (
     category_counts,
     environment_fingerprint,
     metrics_to_prom_text,
+    parse_prom_text,
     read_manifest,
     read_trace_jsonl,
     record_from_dict,
@@ -153,6 +154,107 @@ class TestPromExport:
             {"a.b": 1}, tmp_path / "m.prom", prefix="sim"
         )
         assert path.read_text() == "sim_a_b 1\n"
+
+
+class TestPromMetadata:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "dns.resolutions", help="DNS requests resolved"
+        ).inc(3)
+        registry.gauge("web.active", help="Active sessions").set(2)
+        registry.histogram(
+            "util.max_utilization", help="Max server utilization"
+        ).observe(0.0, 0.4)
+        registry.timeseries(
+            "dns.assigned_ttl", help="TTL assigned per resolution"
+        ).record(1.0, 240.0)
+        registry.register(
+            "worker.cells", lambda: 5, help="Cells completed",
+            kind="counter",
+        )
+        registry.register("plain", lambda: 1.0)
+        return registry
+
+    def test_metadata_collects_kind_and_help(self):
+        meta = self._registry().metadata()
+        assert meta["dns.resolutions"] == {
+            "kind": "counter", "help": "DNS requests resolved",
+        }
+        assert meta["web.active"]["kind"] == "gauge"
+        assert meta["util.max_utilization"]["kind"] == "histogram"
+        assert meta["dns.assigned_ttl"]["kind"] == "timeseries"
+        assert meta["worker.cells"] == {
+            "kind": "counter", "help": "Cells completed",
+        }
+        # An undescribed callback defaults to a help-less gauge.
+        assert meta["plain"] == {"kind": "gauge", "help": None}
+
+    def test_exposition_carries_help_and_type_lines(self):
+        registry = self._registry()
+        text = metrics_to_prom_text(
+            registry.snapshot(), meta=registry.metadata()
+        )
+        assert "# HELP repro_dns_resolutions DNS requests resolved" in text
+        assert "# TYPE repro_dns_resolutions counter" in text
+        assert "# TYPE repro_web_active gauge" in text
+        assert "# TYPE repro_worker_cells counter" in text
+        # Histograms describe their exported *_seconds family.
+        assert (
+            "# HELP repro_util_max_utilization_seconds "
+            "Max server utilization" in text
+        )
+        # No meta -> the old bare output, unchanged.
+        assert "# HELP" not in metrics_to_prom_text(registry.snapshot())
+
+    def test_help_text_newlines_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("a", help="line1\nline2\\end").inc()
+        text = metrics_to_prom_text(
+            registry.snapshot(), meta=registry.metadata()
+        )
+        assert "# HELP repro_a line1\\nline2\\\\end" in text
+        parse_prom_text(text)  # still a valid exposition
+
+
+class TestParsePromText:
+    def _roundtrip_text(self):
+        registry = MetricsRegistry()
+        registry.counter("dns.resolutions", help="Resolved").inc(7)
+        histogram = registry.histogram("util.max_utilization")
+        histogram.observe(0.0, 0.4)
+        histogram.observe(4.0, 0.95)
+        registry.register("note", lambda: "text")  # skipped sample
+        return metrics_to_prom_text(
+            registry.snapshot(), meta=registry.metadata()
+        )
+
+    def test_parses_its_own_exposition(self):
+        exposition = parse_prom_text(self._roundtrip_text())
+        assert exposition.value("repro_dns_resolutions") == 7
+        assert exposition.types["repro_dns_resolutions"] == "counter"
+        assert exposition.helps["repro_dns_resolutions"] == "Resolved"
+        assert (
+            exposition.value(
+                'repro_util_max_utilization_seconds_bucket{le="+Inf"}'
+            )
+            == 4.0
+        )
+        assert exposition.value("repro_util_max_utilization_count") == 2
+
+    def test_rejects_malformed_sample_lines(self):
+        with pytest.raises(ConfigurationError):
+            parse_prom_text("this is not a sample\n")
+        with pytest.raises(ConfigurationError):
+            parse_prom_text("repro_x not_a_number\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            parse_prom_text("# TYPE repro_x exotic\nrepro_x 1\n")
+
+    def test_accepts_blank_lines_and_free_comments(self):
+        exposition = parse_prom_text("# a comment\n\nrepro_x 1\n")
+        assert exposition.value("repro_x") == 1.0
 
 
 class TestManifest:

@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.executor import ParallelExecutor
 from repro.obs import (
     FINISHED,
+    ROSTER,
     STARTED,
     JsonlProgressSink,
     ProgressEvent,
@@ -155,6 +156,18 @@ class TestJsonlProgressSink:
         JsonlProgressSink(tmp_path / "never.jsonl").close()
         assert not (tmp_path / "never.jsonl").exists()
 
+    def test_roster_events_logged_with_worker_count(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        sink = JsonlProgressSink(path)
+        sink.begin(2, 0)
+        sink.emit(ProgressEvent(ROSTER, -1, workers=2, timestamp=12.5))
+        sink.emit(ProgressEvent(ROSTER, -1, workers=1, timestamp=13.0))
+        sink.close()
+        records = read_progress_jsonl(path)
+        rosters = [r for r in records if r["event"] == "roster"]
+        assert [r["workers"] for r in rosters] == [2, 1]
+        assert all("t" in r for r in rosters)
+
 
 class TestTerminalProgressRenderer:
     def _renderer(self):
@@ -210,6 +223,35 @@ class TestTerminalProgressRenderer:
         assert renderer.finished == 0
         assert renderer.total == 3
         assert renderer.eta_seconds() is None
+
+    def test_roster_events_drive_a_live_worker_count(self):
+        # A remote batch starts with an unknown roster (begin(..., 0));
+        # the line shows the roster as workers join and die.
+        renderer, _ = self._renderer()
+        renderer.begin(6, 0)
+        assert "workers" not in renderer.status_line()
+        renderer.emit(ProgressEvent(ROSTER, -1, workers=2))
+        assert "workers 2" in renderer.status_line()
+        renderer.emit(ProgressEvent(ROSTER, -1, workers=3))
+        assert "workers 3" in renderer.status_line()
+        renderer.emit(ProgressEvent(ROSTER, -1, workers=1))  # one died
+        assert "workers 1" in renderer.status_line()
+
+    def test_roster_size_feeds_the_eta(self):
+        renderer, _ = self._renderer()
+        renderer.begin(6, 0)
+        renderer.emit(ProgressEvent(ROSTER, -1, workers=2))
+        renderer.emit(ProgressEvent(FINISHED, 0, elapsed=4.0))
+        renderer.emit(ProgressEvent(FINISHED, 1, elapsed=2.0))
+        # 4 remaining at mean 3 s over the live roster of 2.
+        assert renderer.eta_seconds() == pytest.approx(6.0)
+
+    def test_roster_does_not_count_as_a_busy_cell(self):
+        renderer, _ = self._renderer()
+        renderer.begin(4, 0)
+        renderer.emit(ProgressEvent(ROSTER, -1, workers=1))
+        renderer.emit(ProgressEvent(STARTED, 0))
+        assert "busy 1" in renderer.status_line()
 
 
 class TestTeeProgressSink:
@@ -284,3 +326,35 @@ class TestSalvageProgressJsonl:
         )
         records = read_progress_jsonl(path, strict=False)
         assert [r["cell"] for r in records] == [4]
+
+    def test_multiple_interleaved_tears_and_truncated_final(self, tmp_path):
+        # A log stitched together from several partial captures of a
+        # killed worker: tears appear *between* good records repeatedly,
+        # and the final record is cut mid-write.
+        from repro.obs import salvage_progress_jsonl
+
+        good = [
+            '{"event": "begin", "total": 3, "workers": 0}',
+            '{"event": "roster", "workers": 2, "t": 1.0}',
+            '{"event": "started", "cell": 0, "t": 1.1}',
+            '{"event": "finished", "cell": 0, "elapsed": 0.4, "t": 1.5}',
+            '{"event": "started", "cell": 1, "t": 1.6}',
+        ]
+        torn = [
+            '{"event": "fini',
+            '{"event": "started", "ce',
+            "",  # blank lines are ignored, not counted
+        ]
+        lines = [
+            good[0], torn[0], good[1], torn[2], good[2], torn[1],
+            good[3], good[4],
+        ]
+        truncated_final = '{"event": "finished", "cell": 1, "elap'
+        path = self._write(
+            tmp_path, "\n".join(lines) + "\n" + truncated_final
+        )
+        records, skipped = salvage_progress_jsonl(path)
+        assert [r["event"] for r in records] == [
+            "begin", "roster", "started", "finished", "started",
+        ]
+        assert skipped == 3  # two interior tears + the truncated final
